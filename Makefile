@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: all build test race bench fuzz vet experiments ablations examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/trace/
+
+# Regenerate every paper figure (text tables + CSVs under results/).
+experiments:
+	$(GO) run ./cmd/experiments -fig all -runs 5 -out results
+
+# Run the ablation studies.
+ablations:
+	$(GO) run ./cmd/experiments -fig ablations -runs 3 -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/marketplace
+	$(GO) run ./examples/filesharing
+	$(GO) run ./examples/decentralized
+	$(GO) run ./examples/groupcollusion
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

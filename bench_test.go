@@ -1,0 +1,123 @@
+package collusion_test
+
+// Benchmark harness: one testing.B benchmark per figure of the paper's
+// evaluation, each wrapping the corresponding internal/experiments driver.
+// Benchmarks run the full workload-generation + analysis/simulation
+// pipeline with a single averaged run (Runs=1); cmd/experiments regenerates
+// the same artifacts with the paper's 5-run averaging.
+
+import (
+	"testing"
+
+	"github.com/p2psim/collusion/internal/experiments"
+)
+
+// benchOpts keeps per-iteration cost bounded while exercising the complete
+// pipeline of every figure.
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 1, Runs: 1, Scale: 0.5, ColluderCounts: []int{8, 28, 58}}
+}
+
+func benchFigure(b *testing.B, fn func(experiments.Options) (*experiments.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := fn(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig1aRatingVsReputation regenerates Figure 1(a): per-seller
+// rating volumes vs reputation on the synthetic Amazon trace.
+func BenchmarkFig1aRatingVsReputation(b *testing.B) { benchFigure(b, experiments.Fig1a) }
+
+// BenchmarkFig1bSuspiciousSellerSeries regenerates Figure 1(b): rating
+// time series on one suspicious seller.
+func BenchmarkFig1bSuspiciousSellerSeries(b *testing.B) { benchFigure(b, experiments.Fig1b) }
+
+// BenchmarkFig1cRaterFrequency regenerates Figure 1(c): per-rater rating
+// frequency statistics for suspicious vs unsuspicious sellers.
+func BenchmarkFig1cRaterFrequency(b *testing.B) { benchFigure(b, experiments.Fig1c) }
+
+// BenchmarkFig1dInteractionGraph regenerates Figure 1(d): the Overstock
+// interaction graph and its pairwise-structure classification.
+func BenchmarkFig1dInteractionGraph(b *testing.B) { benchFigure(b, experiments.Fig1d) }
+
+// BenchmarkFig4ReputationSurface regenerates Figure 4: the Formula (2)
+// reputation-bound surface of suspected colluders.
+func BenchmarkFig4ReputationSurface(b *testing.B) { benchFigure(b, experiments.Fig4) }
+
+// BenchmarkFig5EigenTrustB06 regenerates Figure 5: bare EigenTrust
+// reputation distribution with B=0.6.
+func BenchmarkFig5EigenTrustB06(b *testing.B) { benchFigure(b, experiments.Fig5) }
+
+// BenchmarkFig6EigenTrustB02 regenerates Figure 6: bare EigenTrust with
+// B=0.2.
+func BenchmarkFig6EigenTrustB02(b *testing.B) { benchFigure(b, experiments.Fig6) }
+
+// BenchmarkFig7Compromised regenerates Figure 7: bare EigenTrust with
+// compromised pretrusted nodes.
+func BenchmarkFig7Compromised(b *testing.B) { benchFigure(b, experiments.Fig7) }
+
+// BenchmarkFig8Detectors regenerates Figure 8: the standalone detectors on
+// summation reputation.
+func BenchmarkFig8Detectors(b *testing.B) { benchFigure(b, experiments.Fig8) }
+
+// BenchmarkFig9CombinedB06 regenerates Figure 9: EigenTrust+Optimized with
+// B=0.6.
+func BenchmarkFig9CombinedB06(b *testing.B) { benchFigure(b, experiments.Fig9) }
+
+// BenchmarkFig10CombinedB02 regenerates Figure 10: EigenTrust+Optimized
+// with B=0.2.
+func BenchmarkFig10CombinedB02(b *testing.B) { benchFigure(b, experiments.Fig10) }
+
+// BenchmarkFig11CombinedCompromised regenerates Figure 11:
+// EigenTrust+Optimized with compromised pretrusted nodes.
+func BenchmarkFig11CombinedCompromised(b *testing.B) { benchFigure(b, experiments.Fig11) }
+
+// BenchmarkFig12RequestsToColluders regenerates Figure 12: percent of
+// requests served by colluders vs colluder count, for all three methods.
+func BenchmarkFig12RequestsToColluders(b *testing.B) { benchFigure(b, experiments.Fig12) }
+
+// BenchmarkFig13OperationCost regenerates Figure 13: operation cost vs
+// colluder count for EigenTrust, Unoptimized and Optimized.
+func BenchmarkFig13OperationCost(b *testing.B) { benchFigure(b, experiments.Fig13) }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationThresholds sweeps T_a/T_b/T_N and scores detection
+// quality (the paper's future-work question of threshold selection).
+func BenchmarkAblationThresholds(b *testing.B) { benchFigure(b, experiments.AbThresholds) }
+
+// BenchmarkAblationStrictReverse compares the default and literal reverse
+// rules on the compromised-pretrust scenario.
+func BenchmarkAblationStrictReverse(b *testing.B) { benchFigure(b, experiments.AbStrict) }
+
+// BenchmarkAblationManagers measures decentralized detection cost across
+// manager counts.
+func BenchmarkAblationManagers(b *testing.B) { benchFigure(b, experiments.AbManagers) }
+
+// BenchmarkAblationFalsePositives measures false detections on honest
+// workloads.
+func BenchmarkAblationFalsePositives(b *testing.B) { benchFigure(b, experiments.AbFalsePositives) }
+
+// BenchmarkAblationGroup compares pairwise and group detection across
+// collective sizes.
+func BenchmarkAblationGroup(b *testing.B) { benchFigure(b, experiments.AbGroup) }
+
+// BenchmarkAblationEngines compares reputation engines' collusion
+// resistance.
+func BenchmarkAblationEngines(b *testing.B) { benchFigure(b, experiments.AbEngines) }
+
+// BenchmarkAblationSybil compares detector families against a one-way
+// boosting swarm.
+func BenchmarkAblationSybil(b *testing.B) { benchFigure(b, experiments.AbSybil) }
+
+// BenchmarkAblationTimeline records per-cycle reputation dynamics with and
+// without the detector.
+func BenchmarkAblationTimeline(b *testing.B) { benchFigure(b, experiments.AbTimeline) }

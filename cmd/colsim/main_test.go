@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultScenario(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-nodes", "60", "-cycles", "5", "-colluders", "2"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"requests:", "final reputations", "operation costs:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithDetector(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-nodes", "60", "-cycles", "6", "-colluders", "2",
+		"-b", "0.2", "-detector", "optimized"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "[flagged]") {
+		t.Fatalf("no flagged nodes in report:\n%s", stdout.String())
+	}
+}
+
+func TestRunAveragedMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-nodes", "60", "-cycles", "4", "-colluders", "2", "-runs", "2"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "averaged over 2 runs") {
+		t.Fatalf("averaged report missing:\n%s", stdout.String())
+	}
+}
+
+func TestRunRingAndSwarm(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-nodes", "80", "-cycles", "5", "-colluders", "2",
+		"-ring", "3", "-swarm", "3", "-detector", "group"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "ring") || !strings.Contains(out, "sybil") {
+		t.Fatalf("ring/swarm roles missing from report:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-engine", "magic"},
+		{"-detector", "magic"},
+		{"-compromised", "-colluders", "2"},
+		{"-nodes", "1"},
+		{"-unknownflag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command experiments regenerates the paper's evaluation artifacts: every
+// quantitative figure (1a-1d, 4, 5-13) and the ablation studies, as
+// aligned text tables, optionally exporting CSVs for plotting.
+//
+// Usage:
+//
+//	experiments [-fig all|ablations|fig1a|...|fig13|ab-*] [-runs 5] [-seed 1] [-scale 1.0] [-out dir]
+//
+// Examples:
+//
+//	experiments -fig fig12                # one figure, 5-run averaging
+//	experiments -fig all -out results/    # everything + CSVs
+//	experiments -fig ablations -runs 3    # the ablation studies
+//	experiments -fig fig13 -runs 1        # quick single-run pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/p2psim/collusion/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args, executes the selected drivers, and renders the tables
+// to stdout (plus CSVs when -out is set).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		fig   = fs.String("fig", "all", "figure to regenerate (all, ablations, fig1a-fig1d, fig4-fig13, ab-*)")
+		runs  = fs.Int("runs", 5, "simulation runs to average (the paper uses 5)")
+		seed  = fs.Uint64("seed", 1, "root random seed")
+		scale = fs.Float64("scale", 1.0, "synthetic-trace volume scale")
+		out   = fs.String("out", "", "directory for CSV export (empty: no files)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.Options{Seed: *seed, Runs: *runs, Scale: *scale}
+	var tables []*experiments.Table
+	switch *fig {
+	case "all":
+		all, err := experiments.All(opts)
+		if err != nil {
+			return err
+		}
+		tables = all
+	case "ablations":
+		all, err := experiments.Ablations(opts)
+		if err != nil {
+			return err
+		}
+		tables = all
+	default:
+		fn, err := experiments.ByName(*fig)
+		if err != nil {
+			return err
+		}
+		t, err := fn(opts)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+	return experiments.SaveAll(stdout, *out, tables...)
+}

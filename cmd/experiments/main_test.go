@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-fig", "fig4", "-runs", "1"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "fig4") {
+		t.Fatalf("output missing figure header:\n%s", stdout.String()[:100])
+	}
+}
+
+func TestRunWithCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-fig", "fig1d", "-runs", "1", "-scale", "0.2", "-out", dir}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig1d.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "metric,value\n") {
+		t.Fatalf("csv malformed: %q", data[:30])
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-fig", "ab-strict", "-runs", "1"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "StrictReverse") {
+		t.Fatalf("ablation output unexpected:\n%s", stdout.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "fig99"}, &out, &out); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-nonsense"}, &out, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,108 @@
+// Command report runs the complete evaluation — every paper figure and
+// every ablation study — and emits a single self-contained Markdown
+// report with one table per artifact, suitable for committing alongside
+// EXPERIMENTS.md or attaching to a CI run.
+//
+// Usage:
+//
+//	report [-runs 5] [-seed 1] [-scale 1.0] [-skip-ablations] [-out report.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/p2psim/collusion/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the evaluation and writes the Markdown report.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runs     = fs.Int("runs", 5, "simulation runs to average")
+		seed     = fs.Uint64("seed", 1, "root random seed")
+		scale    = fs.Float64("scale", 1.0, "synthetic-trace volume scale")
+		skipAbl  = fs.Bool("skip-ablations", false, "emit only the paper figures")
+		out      = fs.String("out", "", "output path (default stdout)")
+		maxRows  = fs.Int("max-rows", 40, "truncate tables beyond this many rows")
+		noHeader = fs.Bool("no-header", false, "omit the generated-at header")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.Options{Seed: *seed, Runs: *runs, Scale: *scale}
+	tables, err := experiments.All(opts)
+	if err != nil {
+		return err
+	}
+	if !*skipAbl {
+		abl, err := experiments.Ablations(opts)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, abl...)
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return writeMarkdown(w, tables, *maxRows, !*noHeader, opts)
+}
+
+// writeMarkdown renders every table as a Markdown section.
+func writeMarkdown(w io.Writer, tables []*experiments.Table, maxRows int, header bool, opts experiments.Options) error {
+	if header {
+		fmt.Fprintf(w, "# Evaluation report\n\n")
+		fmt.Fprintf(w, "Generated %s · seed %d · %d run(s) averaged · trace scale %.2g\n\n",
+			time.Now().UTC().Format(time.RFC3339), opts.Seed, opts.Runs, opts.Scale)
+	}
+	for _, t := range tables {
+		if _, err := fmt.Fprintf(w, "## %s — %s\n\n", t.ID, t.Title); err != nil {
+			return err
+		}
+		writeRow := func(cells []string) {
+			fmt.Fprint(w, "|")
+			for _, c := range cells {
+				fmt.Fprintf(w, " %s |", c)
+			}
+			fmt.Fprintln(w)
+		}
+		writeRow(t.Header)
+		fmt.Fprint(w, "|")
+		for range t.Header {
+			fmt.Fprint(w, "---|")
+		}
+		fmt.Fprintln(w)
+		for i, row := range t.Rows {
+			if maxRows > 0 && i >= maxRows {
+				fmt.Fprintf(w, "\n_... %d more rows (see `cmd/experiments -fig %s` for the full table)_\n",
+					len(t.Rows)-i, t.ID)
+				break
+			}
+			writeRow(row)
+		}
+		for _, note := range t.Notes {
+			fmt.Fprintf(w, "\n> %s\n", note)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

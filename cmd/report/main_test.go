@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/p2psim/collusion/internal/experiments"
+)
+
+func TestWriteMarkdown(t *testing.T) {
+	tab := &experiments.Table{
+		ID:     "demo",
+		Title:  "demo table",
+		Header: []string{"a", "b"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow(1, 2)
+	tab.AddRow(3, 4)
+	tab.AddRow(5, 6)
+
+	var buf bytes.Buffer
+	opts := experiments.Options{Seed: 1, Runs: 1, Scale: 1}
+	if err := writeMarkdown(&buf, []*experiments.Table{tab}, 2, false, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"## demo — demo table",
+		"| a | b |",
+		"|---|---|",
+		"| 1 | 2 |",
+		"_... 1 more rows",
+		"> a note",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "| 5 | 6 |") {
+		t.Fatal("truncation did not apply")
+	}
+}
+
+func TestRunSmallReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-runs", "1", "-scale", "0.15", "-skip-ablations", "-out", path},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"# Evaluation report", "## fig5", "## fig13"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

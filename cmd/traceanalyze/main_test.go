@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	collusion "github.com/p2psim/collusion"
+	"github.com/p2psim/collusion/internal/trace"
+)
+
+// writeTestTrace generates a small Overstock-style trace CSV.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	cfg := collusion.DefaultOverstockConfig()
+	cfg.Users = 300
+	cfg.OrganicTransactions = 1000
+	cfg.ColludingPairs = 4
+	cfg.ChainUsers = 1
+	tr, err := collusion.GenerateOverstock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteCSV(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReport(t *testing.T) {
+	path := writeTestTrace(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-in", path, "-mutual"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"suspicious pairs",
+		"interaction graph",
+		"structure is pairwise (C5 holds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDOTExport(t *testing.T) {
+	path := writeTestTrace(t)
+	dotPath := filepath.Join(t.TempDir(), "g.dot")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-in", path, "-mutual", "-dot", dotPath}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "graph interactions {") {
+		t.Fatalf("DOT file malformed: %q", data[:30])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out, &out); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent/file.csv"}, &out, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,a,trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", bad}, &out, &out); err == nil {
+		t.Error("malformed trace accepted")
+	}
+}
+
+func TestRunJSONLInput(t *testing.T) {
+	cfg := collusion.DefaultOverstockConfig()
+	cfg.Users = 200
+	cfg.OrganicTransactions = 500
+	cfg.ColludingPairs = 3
+	cfg.ChainUsers = 0
+	tr, err := collusion.GenerateOverstock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSONL(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-in", path, "-mutual"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "suspicious pairs") {
+		t.Fatalf("report missing analysis:\n%s", stdout.String())
+	}
+}

@@ -1,0 +1,117 @@
+// Command tracegen emits a synthetic marketplace rating trace as CSV,
+// shaped like the Amazon or Overstock crawls analysed in Section III of
+// the paper. The planted ground truth (colluding pairs, boosters, rivals)
+// is printed to stderr; the CSV itself carries no labels, as a real crawl
+// would not.
+//
+// Usage:
+//
+//	tracegen -kind amazon|overstock [-format csv|jsonl] [-seed 1] [-scale 1.0] [-out trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	collusion "github.com/p2psim/collusion"
+	"github.com/p2psim/collusion/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and executes the command, writing the CSV to stdout (or
+// the -out path) and the ground-truth summary to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kind   = fs.String("kind", "amazon", "trace kind: amazon or overstock")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		scale  = fs.Float64("scale", 1.0, "volume scale factor")
+		out    = fs.String("out", "", "output path (default stdout)")
+		format = fs.String("format", "csv", "output format: csv or jsonl")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tr *collusion.Trace
+	switch *kind {
+	case "amazon":
+		cfg := collusion.DefaultAmazonConfig()
+		cfg.Seed = *seed
+		for i := range cfg.Bands {
+			cfg.Bands[i].MeanDailyRatings *= *scale
+		}
+		at, err := collusion.GenerateAmazon(cfg)
+		if err != nil {
+			return err
+		}
+		tr = &at.Trace
+		describeAmazon(stderr, at)
+	case "overstock":
+		cfg := collusion.DefaultOverstockConfig()
+		cfg.Seed = *seed
+		cfg.OrganicTransactions = int(float64(cfg.OrganicTransactions) * *scale)
+		t, err := collusion.GenerateOverstock(cfg)
+		if err != nil {
+			return err
+		}
+		tr = t
+		describeOverstock(stderr, t)
+	default:
+		return fmt.Errorf("unknown kind %q (want amazon or overstock)", *kind)
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		if err := trace.WriteCSV(w, tr); err != nil {
+			return err
+		}
+	case "jsonl":
+		if err := trace.WriteJSONL(w, tr); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want csv or jsonl)", *format)
+	}
+	fmt.Fprintf(stderr, "wrote %d ratings\n", tr.Len())
+	return nil
+}
+
+func describeAmazon(w io.Writer, at *collusion.AmazonTrace) {
+	sellers := make([]collusion.NodeID, 0, len(at.Truth.Boosters))
+	for s := range at.Truth.Boosters {
+		sellers = append(sellers, s)
+	}
+	sort.Slice(sellers, func(i, j int) bool { return sellers[i] < sellers[j] })
+	fmt.Fprintf(w, "ground truth: %d suspicious sellers with planted boosters\n", len(sellers))
+	for _, s := range sellers {
+		fmt.Fprintf(w, "  seller %d: boosters %v rivals %v\n",
+			s, at.Truth.Boosters[s], at.Truth.Rivals[s])
+	}
+}
+
+func describeOverstock(w io.Writer, t *collusion.Trace) {
+	fmt.Fprintf(w, "ground truth: %d planted colluding pairs\n", len(t.Truth.ColludingPairs))
+	for _, p := range t.Truth.ColludingPairs {
+		fmt.Fprintf(w, "  pair %d-%d\n", p[0], p[1])
+	}
+}

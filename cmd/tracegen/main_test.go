@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/p2psim/collusion/internal/trace"
+)
+
+func TestRunAmazonToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-kind", "amazon", "-scale", "0.05"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(stdout.String(), "day,rater,target,score\n") {
+		t.Fatalf("stdout does not start with CSV header: %q", stdout.String()[:40])
+	}
+	if !strings.Contains(stderr.String(), "suspicious sellers") {
+		t.Fatalf("stderr missing ground truth: %q", stderr.String())
+	}
+	// The emitted CSV must parse back.
+	tr, err := trace.ReadCSV(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestRunOverstockToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "os.csv")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-kind", "overstock", "-scale", "0.2", "-out", path}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() != 0 {
+		t.Fatal("CSV leaked to stdout despite -out")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("empty trace file")
+	}
+	if !strings.Contains(stderr.String(), "planted colluding pairs") {
+		t.Fatalf("stderr missing ground truth: %q", stderr.String())
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "ebay"}, &out, &out); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run([]string{"-badflag"}, &out, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	var a, b, discard bytes.Buffer
+	if err := run([]string{"-kind", "overstock", "-scale", "0.1", "-seed", "7"}, &a, &discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "overstock", "-scale", "0.1", "-seed", "7"}, &b, &discard); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different CSVs")
+	}
+}
+
+func TestRunJSONLFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-kind", "overstock", "-scale", "0.1", "-format", "jsonl"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadJSONL(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("empty JSONL trace")
+	}
+}
+
+func TestRunRejectsBadFormat(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-format", "xml"}, &out, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

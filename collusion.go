@@ -1,0 +1,221 @@
+package collusion
+
+import (
+	"github.com/p2psim/collusion/internal/analysis"
+	"github.com/p2psim/collusion/internal/core"
+	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/reputation"
+	"github.com/p2psim/collusion/internal/simulator"
+	"github.com/p2psim/collusion/internal/trace"
+)
+
+// Detection API (the paper's contribution, Section IV).
+type (
+	// Thresholds holds the detection parameters T_R, T_N, T_a, T_b.
+	Thresholds = core.Thresholds
+	// Detector is a collusion detection method over a period ledger.
+	Detector = core.Detector
+	// Result is a detection outcome: flagged pairs with evidence.
+	Result = core.Result
+	// Evidence describes one detected pair.
+	Evidence = core.Evidence
+	// ManagerRing distributes detection across DHT reputation managers.
+	ManagerRing = core.ManagerRing
+	// DetectionKind selects the method a ManagerRing runs.
+	DetectionKind = core.Kind
+	// Group is one detected collusion collective of two or more nodes.
+	Group = core.Group
+	// GroupResult is the outcome of group detection.
+	GroupResult = core.GroupResult
+	// GroupDetector finds collusion collectives (the paper's future-work
+	// extension beyond pairs).
+	GroupDetector = core.GroupDetector
+	// SybilFinding is one detected one-way boosting swarm.
+	SybilFinding = core.SybilFinding
+	// SybilResult is the outcome of Sybil detection.
+	SybilResult = core.SybilResult
+	// SybilDetector finds one-way boosting swarms (the paper's future-work
+	// Sybil case).
+	SybilDetector = core.SybilDetector
+)
+
+// Detection method kinds for ManagerRing.Detect.
+const (
+	KindBasic     = core.KindBasic
+	KindOptimized = core.KindOptimized
+)
+
+// DefaultThresholds returns trace-calibrated detection parameters
+// (T_N = 20/period, T_a = 0.8, T_b = 0.2).
+func DefaultThresholds() Thresholds { return core.DefaultThresholds() }
+
+// SimThresholds returns thresholds calibrated to the Section V simulation
+// (T_a = 0.95, T_b = 0.7).
+func SimThresholds() Thresholds { return simulator.SimThresholds() }
+
+// NewBasicDetector returns the unoptimized O(mn²) detection method.
+func NewBasicDetector(t Thresholds) *core.Basic { return core.NewBasic(t) }
+
+// NewOptimizedDetector returns the Formula (2) O(mn) detection method.
+func NewOptimizedDetector(t Thresholds) *core.Optimized { return core.NewOptimized(t) }
+
+// NewGroupDetector returns the group detector, which generalizes the
+// pairwise collusion model to strongly connected flooding collectives.
+func NewGroupDetector(t Thresholds) *GroupDetector { return core.NewGroupDetector(t) }
+
+// NewSybilDetector returns the Sybil detector, which finds high-reputed
+// beneficiaries propped up by swarms of concentrated one-way boosters.
+func NewSybilDetector(t Thresholds) *SybilDetector { return core.NewSybilDetector(t) }
+
+// NewManagerRing builds numManagers decentralized reputation managers on a
+// Chord DHT covering a rated population.
+func NewManagerRing(numManagers, population int, t Thresholds, meter *CostMeter) (*ManagerRing, error) {
+	return core.NewManagerRing(numManagers, population, t, meter)
+}
+
+// Reputation substrate (Section IV-A).
+type (
+	// Ledger accumulates one period's ratings for a fixed population.
+	Ledger = reputation.Ledger
+	// Engine computes global reputation scores from a ledger.
+	Engine = reputation.Engine
+	// EigenTrust is the damped power-iteration engine of reference [9].
+	EigenTrust = reputation.EigenTrust
+	// Summation is the eBay-style sum-of-ratings engine.
+	Summation = reputation.Summation
+	// WeightedSum is the Section V weighted engine (w1=0.2, w2=0.5).
+	WeightedSum = reputation.WeightedSum
+	// IterativeWeighted is the Section V weighted engine with
+	// reputation-dependent rater weights updated each cycle.
+	IterativeWeighted = reputation.IterativeWeighted
+	// SimilarityWeighted is the PeerTrust-style feedback-similarity
+	// credibility engine.
+	SimilarityWeighted = reputation.SimilarityWeighted
+)
+
+// NewLedger creates an empty rating ledger for n nodes.
+func NewLedger(n int) *Ledger { return reputation.NewLedger(n) }
+
+// NewEigenTrust returns an EigenTrust engine with the given pretrusted
+// peers and default damping.
+func NewEigenTrust(pretrusted []int) *EigenTrust { return reputation.NewEigenTrust(pretrusted) }
+
+// NewWeightedSum returns the Section V weighted-sum engine with the
+// paper's parameters (w1 = 0.2, w2 = 0.5).
+func NewWeightedSum(pretrusted []int) *WeightedSum { return reputation.NewWeightedSum(pretrusted) }
+
+// NewIterativeWeighted returns the Section V weighted engine whose rater
+// weights follow each rater's current reputation.
+func NewIterativeWeighted(pretrusted []int) *IterativeWeighted {
+	return reputation.NewIterativeWeighted(pretrusted)
+}
+
+// NewSimilarityWeighted returns the feedback-similarity credibility engine.
+func NewSimilarityWeighted() *SimilarityWeighted { return reputation.NewSimilarityWeighted() }
+
+// NormalizeScores scales scores so non-negative mass sums to one.
+func NormalizeScores(scores []float64) []float64 { return reputation.Normalize(scores) }
+
+// Metrics.
+type (
+	// CostMeter accumulates named operation counters.
+	CostMeter = metrics.CostMeter
+)
+
+// Well-known cost counter names.
+const (
+	CostMatrixScan     = metrics.CostMatrixScan
+	CostBoundCheck     = metrics.CostBoundCheck
+	CostPairCheck      = metrics.CostPairCheck
+	CostEigenMulAdd    = metrics.CostEigenMulAdd
+	CostDHTMessage     = metrics.CostDHTMessage
+	CostManagerMessage = metrics.CostManagerMessage
+)
+
+// Trace substrate and analyses (Section III).
+type (
+	// Trace is a collection of marketplace ratings.
+	Trace = trace.Trace
+	// TraceRating is one feedback event.
+	TraceRating = trace.Rating
+	// NodeID identifies a trace participant.
+	NodeID = trace.NodeID
+	// AmazonConfig parameterizes the synthetic Amazon-style generator.
+	AmazonConfig = trace.AmazonConfig
+	// AmazonTrace is a generated Amazon-style trace with seller metadata.
+	AmazonTrace = trace.AmazonTrace
+	// OverstockConfig parameterizes the synthetic Overstock-style
+	// generator.
+	OverstockConfig = trace.OverstockConfig
+	// SuspiciousPairsResult is the outcome of the frequency filter.
+	SuspiciousPairsResult = analysis.SuspiciousPairsResult
+	// InteractionGraph is the Figure 1(d) rating-interaction graph.
+	InteractionGraph = analysis.InteractionGraph
+	// GraphOptions controls interaction-graph construction.
+	GraphOptions = analysis.GraphOptions
+)
+
+// DefaultAmazonConfig mirrors the paper's Amazon crawl at laptop scale.
+func DefaultAmazonConfig() AmazonConfig { return trace.DefaultAmazonConfig() }
+
+// DefaultOverstockConfig mirrors the paper's Overstock crawl at laptop
+// scale.
+func DefaultOverstockConfig() OverstockConfig { return trace.DefaultOverstockConfig() }
+
+// GenerateAmazon builds a synthetic Amazon-style rating trace.
+func GenerateAmazon(cfg AmazonConfig) (*AmazonTrace, error) { return trace.GenerateAmazon(cfg) }
+
+// GenerateOverstock builds a synthetic Overstock-style mutual-rating trace.
+func GenerateOverstock(cfg OverstockConfig) (*Trace, error) { return trace.GenerateOverstock(cfg) }
+
+// SuspiciousPairs applies the Section III frequency filter: directed pairs
+// with at least minRatings ratings, with their a and b statistics.
+func SuspiciousPairs(t *Trace, minRatings int) SuspiciousPairsResult {
+	return analysis.SuspiciousPairs(t, minRatings)
+}
+
+// BuildInteractionGraph constructs the Figure 1(d) interaction graph.
+func BuildInteractionGraph(t *Trace, opts GraphOptions) *InteractionGraph {
+	return analysis.BuildInteractionGraph(t, opts)
+}
+
+// Simulation (Section V).
+type (
+	// SimConfig parameterizes one evaluation simulation.
+	SimConfig = simulator.Config
+	// SimResult captures one simulation run.
+	SimResult = simulator.Result
+	// SimAveraged aggregates several runs.
+	SimAveraged = simulator.AveragedResult
+	// EngineKind selects the simulation's reputation engine.
+	EngineKind = simulator.EngineKind
+	// DetectorKind selects the simulation's collusion detector.
+	DetectorKind = simulator.DetectorKind
+)
+
+// Simulation engine and detector kinds.
+const (
+	EngineEigenTrust        = simulator.EngineEigenTrust
+	EngineSummation         = simulator.EngineSummation
+	EngineWeightedSum       = simulator.EngineWeightedSum
+	EngineIterativeWeighted = simulator.EngineIterativeWeighted
+	EngineSimilarity        = simulator.EngineSimilarity
+
+	DetectorNone      = simulator.DetectorNone
+	DetectorBasic     = simulator.DetectorBasic
+	DetectorOptimized = simulator.DetectorOptimized
+	DetectorGroup     = simulator.DetectorGroup
+	DetectorSybil     = simulator.DetectorSybil
+)
+
+// DefaultSimConfig returns the paper's Figure 5 simulation setup.
+func DefaultSimConfig() SimConfig { return simulator.DefaultConfig() }
+
+// RunSimulation executes one deterministic simulation run.
+func RunSimulation(cfg SimConfig) (*SimResult, error) { return simulator.Run(cfg) }
+
+// RunSimulationAveraged executes several runs with perturbed seeds and
+// averages per-node reputations, as the paper averages over five runs.
+func RunSimulationAveraged(cfg SimConfig, runs int) (*SimAveraged, error) {
+	return simulator.RunAveraged(cfg, runs)
+}

@@ -1,0 +1,127 @@
+package collusion_test
+
+import (
+	"testing"
+
+	collusion "github.com/p2psim/collusion"
+)
+
+// TestFacadeEndToEnd exercises the public API the way a downstream user
+// would: record ratings, run both detectors, check agreement.
+func TestFacadeEndToEnd(t *testing.T) {
+	l := collusion.NewLedger(16)
+	for k := 0; k < 25; k++ {
+		l.Record(1, 2, 1)
+		l.Record(2, 1, 1)
+	}
+	for k := 0; k < 8; k++ {
+		l.Record(4+k%6, 1, -1)
+		l.Record(4+k%6, 2, -1)
+	}
+	for k := 0; k < 30; k++ {
+		l.Record(4+k%8, 3, 1)
+	}
+
+	th := collusion.DefaultThresholds()
+	basic := collusion.NewBasicDetector(th).Detect(l)
+	opt := collusion.NewOptimizedDetector(th).Detect(l)
+	for _, res := range []collusion.Result{basic, opt} {
+		if len(res.Pairs) != 1 || !res.HasPair(1, 2) {
+			t.Fatalf("detected pairs = %+v, want {1,2}", res.Pairs)
+		}
+	}
+}
+
+func TestFacadeEngines(t *testing.T) {
+	l := collusion.NewLedger(8)
+	l.Record(0, 1, 1)
+	l.Record(2, 1, 1)
+	for _, e := range []collusion.Engine{
+		collusion.Summation{},
+		collusion.NewWeightedSum([]int{0}),
+		collusion.NewEigenTrust([]int{0}),
+	} {
+		scores := e.Scores(l)
+		if len(scores) != 8 {
+			t.Fatalf("engine %q returned %d scores", e.Name(), len(scores))
+		}
+	}
+	norm := collusion.NormalizeScores([]float64{1, 3})
+	if norm[0] != 0.25 || norm[1] != 0.75 {
+		t.Fatalf("NormalizeScores = %v", norm)
+	}
+}
+
+func TestFacadeTracePipeline(t *testing.T) {
+	cfg := collusion.DefaultOverstockConfig()
+	cfg.Users = 300
+	cfg.OrganicTransactions = 1000
+	cfg.ColludingPairs = 4
+	cfg.ChainUsers = 1
+	tr, err := collusion.GenerateOverstock(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := collusion.BuildInteractionGraph(tr, collusion.GraphOptions{EdgeThreshold: 20, RequireMutual: true})
+	if g.Triangles() != 0 {
+		t.Fatalf("triangles = %d", g.Triangles())
+	}
+	res := collusion.SuspiciousPairs(tr, 20)
+	if len(res.Pairs) == 0 {
+		t.Fatal("no suspicious pairs found")
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	cfg := collusion.DefaultSimConfig()
+	cfg.Overlay.Nodes = 60
+	cfg.SimCycles = 5
+	cfg.QueryCycles = 8
+	cfg.ColluderGoodProb = 0.2
+	cfg.Detector = collusion.DetectorOptimized
+	res, err := collusion.RunSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RequestsTotal == 0 {
+		t.Fatal("no requests served")
+	}
+	avg, err := collusion.RunSimulationAveraged(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Runs != 2 {
+		t.Fatalf("Runs = %d", avg.Runs)
+	}
+}
+
+func TestFacadeManagerRing(t *testing.T) {
+	var meter collusion.CostMeter
+	mr, err := collusion.NewManagerRing(4, 20, collusion.DefaultThresholds(), &meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 25; k++ {
+		if err := mr.Record(1, 2, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := mr.Record(2, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 8; k++ {
+		if err := mr.Record(4+k%6, 1, -1); err != nil {
+			t.Fatal(err)
+		}
+		if err := mr.Record(4+k%6, 2, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := mr.Detect(collusion.KindOptimized)
+	if !res.HasPair(1, 2) {
+		t.Fatalf("pair not detected: %+v", res.Pairs)
+	}
+	if meter.Get(collusion.CostDHTMessage) == 0 {
+		t.Fatal("no DHT messages counted")
+	}
+}

@@ -1,0 +1,41 @@
+// Package collusion is a library for detecting collusion in reputation
+// systems for peer-to-peer networks. It reproduces the system described in
+// Li, Shen and Sapra, "Collusion Detection in Reputation Systems for
+// Peer-to-Peer Networks" (ICPP 2012).
+//
+// # Overview
+//
+// Reputation systems let peers in open P2P networks pick trustworthy
+// partners, but they are vulnerable to collusion: pairs of nodes that
+// flood each other with positive ratings to manufacture high reputations
+// while offering poor service to everyone else. This library provides:
+//
+//   - a rating Ledger and reputation engines (Summation, WeightedSum and
+//     EigenTrust with pretrust damping);
+//   - two collusion detectors: the Basic method, which re-scans a node's
+//     rating-matrix row per suspect rater (O(mn²)), and the Optimized
+//     method, which replaces the re-scan with closed-form reputation
+//     bounds derived from the summation identity (O(mn));
+//   - a decentralized deployment (ManagerRing) that distributes detection
+//     across reputation managers organized in a Chord DHT;
+//   - synthetic Amazon- and Overstock-style trace generators and the
+//     Section III trace analyses (suspicious-pair filtering, interaction
+//     graphs);
+//   - the Section V file-sharing simulator used to regenerate every
+//     figure of the paper's evaluation.
+//
+// # Quick start
+//
+// Record ratings in a Ledger and run a detector:
+//
+//	l := collusion.NewLedger(100)
+//	l.Record(rater, target, +1)
+//	det := collusion.NewOptimizedDetector(collusion.DefaultThresholds())
+//	result := det.Detect(l)
+//	for _, pair := range result.Pairs {
+//	    fmt.Println(pair.I, pair.J)
+//	}
+//
+// See examples/ for complete programs and internal/experiments for the
+// harness that regenerates the paper's figures.
+package collusion

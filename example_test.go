@@ -1,0 +1,186 @@
+package collusion_test
+
+import (
+	"fmt"
+
+	collusion "github.com/p2psim/collusion"
+)
+
+// ExampleNewOptimizedDetector demonstrates the paper's O(mn) detection
+// method on a hand-built ledger with one colluding pair.
+func ExampleNewOptimizedDetector() {
+	ledger := collusion.NewLedger(12)
+	// Colluders 1 and 2 flood each other with positive ratings (C3, C4)...
+	for k := 0; k < 25; k++ {
+		ledger.Record(1, 2, +1)
+		ledger.Record(2, 1, +1)
+	}
+	// ...while everyone else rates their poor service down (C2).
+	for k := 0; k < 8; k++ {
+		ledger.Record(4+k%6, 1, -1)
+		ledger.Record(4+k%6, 2, -1)
+	}
+
+	detector := collusion.NewOptimizedDetector(collusion.DefaultThresholds())
+	for _, pair := range detector.Detect(ledger).Pairs {
+		fmt.Printf("pair (%d, %d): %d/%d mutual ratings\n",
+			pair.I, pair.J, pair.NIJ, pair.NJI)
+	}
+	// Output:
+	// pair (1, 2): 25/25 mutual ratings
+}
+
+// ExampleNewBasicDetector shows that the unoptimized method reports the
+// same pairs as the optimized one — at O(mn²) instead of O(mn).
+func ExampleNewBasicDetector() {
+	ledger := collusion.NewLedger(12)
+	for k := 0; k < 25; k++ {
+		ledger.Record(1, 2, +1)
+		ledger.Record(2, 1, +1)
+	}
+	for k := 0; k < 8; k++ {
+		ledger.Record(4+k%6, 1, -1)
+		ledger.Record(4+k%6, 2, -1)
+	}
+
+	basic := collusion.NewBasicDetector(collusion.DefaultThresholds()).Detect(ledger)
+	optimized := collusion.NewOptimizedDetector(collusion.DefaultThresholds()).Detect(ledger)
+	fmt.Println("basic finds:", len(basic.Pairs), "pair(s)")
+	fmt.Println("optimized finds:", len(optimized.Pairs), "pair(s)")
+	fmt.Println("same pair:", basic.Pairs[0].I == optimized.Pairs[0].I &&
+		basic.Pairs[0].J == optimized.Pairs[0].J)
+	// Output:
+	// basic finds: 1 pair(s)
+	// optimized finds: 1 pair(s)
+	// same pair: true
+}
+
+// ExampleThresholds_BoundsHold evaluates Formula (2) directly: given a
+// node's total ratings and one rater's share of them, the reputation of a
+// propped-up node must fall inside a closed-form interval.
+func ExampleThresholds_BoundsHold() {
+	th := collusion.DefaultThresholds() // Ta=0.8, Tb=0.2
+	lo, hi := th.ReputationBounds(100, 40)
+	fmt.Printf("bounds for N=100, Nij=40: [%.0f, %.0f]\n", lo, hi)
+	fmt.Println("R=0 consistent with collusion:", th.BoundsHold(0, 100, 40))
+	fmt.Println("R=50 consistent with collusion:", th.BoundsHold(50, 100, 40))
+	// Output:
+	// bounds for N=100, Nij=40: [-36, 4]
+	// R=0 consistent with collusion: true
+	// R=50 consistent with collusion: false
+}
+
+// ExampleNewGroupDetector detects a three-node collusion ring — a
+// structure the pairwise methods cannot see because no two members rate
+// each other mutually.
+func ExampleNewGroupDetector() {
+	ledger := collusion.NewLedger(16)
+	ring := []int{1, 2, 3}
+	for i, m := range ring {
+		next := ring[(i+1)%len(ring)]
+		for k := 0; k < 30; k++ {
+			ledger.Record(m, next, +1)
+		}
+	}
+	for k := 0; k < 6; k++ {
+		ledger.Record(8+k%4, 1, -1)
+		ledger.Record(8+k%4, 2, -1)
+		ledger.Record(8+k%4, 3, -1)
+	}
+
+	pairs := collusion.NewOptimizedDetector(collusion.DefaultThresholds()).Detect(ledger)
+	groups := collusion.NewGroupDetector(collusion.DefaultThresholds()).Detect(ledger)
+	fmt.Println("pairwise detections:", len(pairs.Pairs))
+	fmt.Println("group detections:", len(groups.Groups))
+	fmt.Println("ring members:", groups.Groups[0].Members)
+	// Output:
+	// pairwise detections: 0
+	// group detections: 1
+	// ring members: [1 2 3]
+}
+
+// ExampleNewSybilDetector detects a one-way boosting swarm: fake
+// identities that exist solely to flood one beneficiary with positives.
+func ExampleNewSybilDetector() {
+	ledger := collusion.NewLedger(16)
+	for _, fake := range []int{10, 11, 12, 13} {
+		for k := 0; k < 25; k++ {
+			ledger.Record(fake, 1, +1)
+		}
+	}
+	for k := 0; k < 6; k++ {
+		ledger.Record(5+k%3, 1, -1)
+	}
+
+	res := collusion.NewSybilDetector(collusion.DefaultThresholds()).Detect(ledger)
+	fmt.Println("beneficiary:", res.Findings[0].Target)
+	fmt.Println("boosters:", res.Findings[0].Boosters)
+	// Output:
+	// beneficiary: 1
+	// boosters: [10 11 12 13]
+}
+
+// ExampleNewManagerRing runs the decentralized detection protocol: ratings
+// are routed through a Chord DHT to each node's reputation manager, and
+// managers exchange messages for cross-manager suspicion checks.
+func ExampleNewManagerRing() {
+	ring, err := collusion.NewManagerRing(4, 32, collusion.DefaultThresholds(), nil)
+	if err != nil {
+		panic(err)
+	}
+	for k := 0; k < 25; k++ {
+		ring.Record(1, 2, +1)
+		ring.Record(2, 1, +1)
+	}
+	for k := 0; k < 8; k++ {
+		ring.Record(10+k%4, 1, -1)
+		ring.Record(10+k%4, 2, -1)
+	}
+	res := ring.Detect(collusion.KindOptimized)
+	fmt.Println("detected:", res.HasPair(1, 2))
+	// Output:
+	// detected: true
+}
+
+// ExampleNewEigenTrust computes global trust with the damped power
+// iteration: scores form a probability distribution over nodes.
+func ExampleNewEigenTrust() {
+	ledger := collusion.NewLedger(4)
+	ledger.Record(0, 1, +1) // the pretrusted node vouches for node 1
+	ledger.Record(1, 2, +1) // which vouches for node 2
+
+	scores := collusion.NewEigenTrust([]int{0}).Scores(ledger)
+	sum := 0.0
+	for _, s := range scores {
+		sum += s
+	}
+	fmt.Printf("sum of scores: %.2f\n", sum)
+	fmt.Println("node 1 outranks node 3:", scores[1] > scores[3])
+	// Output:
+	// sum of scores: 1.00
+	// node 1 outranks node 3: true
+}
+
+// ExampleGenerateOverstock generates a synthetic Overstock-style trace and
+// re-derives the paper's C5 finding: collusion is pairwise, never closed
+// groups.
+func ExampleGenerateOverstock() {
+	cfg := collusion.DefaultOverstockConfig()
+	cfg.Users = 400
+	cfg.OrganicTransactions = 1500
+	cfg.ColludingPairs = 6
+	cfg.ChainUsers = 1
+	tr, err := collusion.GenerateOverstock(cfg)
+	if err != nil {
+		panic(err)
+	}
+	g := collusion.BuildInteractionGraph(tr, collusion.GraphOptions{
+		EdgeThreshold: 20,
+		RequireMutual: true,
+	})
+	fmt.Println("triangles:", g.Triangles())
+	fmt.Println("closed groups:", g.ClassifyStructure().ClosedGroups)
+	// Output:
+	// triangles: 0
+	// closed groups: 0
+}

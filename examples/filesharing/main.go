@@ -1,0 +1,69 @@
+// Filesharing: the Section V evaluation in miniature — a P2P file-sharing
+// network where colluding pairs manufacture reputation under EigenTrust,
+// compared with the same network running EigenTrust plus the optimized
+// collusion detector.
+//
+// The program reproduces the paper's headline comparison: under bare
+// EigenTrust with B=0.6 the colluders end up the highest-reputed nodes in
+// the system; with the detector attached they are identified from their
+// rating pattern and pinned to reputation zero, and the requests they
+// would have captured flow back to honest nodes.
+//
+// Run with:
+//
+//	go run ./examples/filesharing
+package main
+
+import (
+	"fmt"
+
+	collusion "github.com/p2psim/collusion"
+)
+
+func run(detector collusion.DetectorKind) *collusion.SimResult {
+	cfg := collusion.DefaultSimConfig()
+	cfg.Seed = 3
+	cfg.ColluderGoodProb = 0.6 // colluders serve well 60% of the time (Figure 5/9)
+	cfg.Detector = detector
+	res, err := collusion.RunSimulation(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func main() {
+	cfg := collusion.DefaultSimConfig()
+	fmt.Printf("network: %d nodes, %d interest clusters, %d sim cycles x %d query cycles\n",
+		cfg.Overlay.Nodes, cfg.Overlay.InterestCategories, cfg.SimCycles, cfg.QueryCycles)
+	fmt.Printf("pretrusted: nodes 1-3; colluders: nodes 4-11 in pairs, B=0.6\n\n")
+
+	bare := run(collusion.DetectorNone)
+	guarded := run(collusion.DetectorOptimized)
+
+	fmt.Println("final reputations (first 12 nodes, 1-based IDs):")
+	fmt.Println("node  role        eigentrust  +optimized")
+	for i := 0; i < 12; i++ {
+		role := "normal"
+		switch {
+		case i < 3:
+			role = "pretrusted"
+		case i < 11:
+			role = "colluder"
+		}
+		marker := ""
+		if guarded.Flagged[i] {
+			marker = "  [detected]"
+		}
+		fmt.Printf("%4d  %-10s  %10.5f  %10.5f%s\n", i+1, role, bare.Scores[i], guarded.Scores[i], marker)
+	}
+
+	fmt.Printf("\nrequests captured by colluders: %.2f%% (bare) vs %.2f%% (detector)\n",
+		100*bare.PercentToColluders(), 100*guarded.PercentToColluders())
+
+	fmt.Println("\ndetected pairs with evidence:")
+	for _, e := range guarded.DetectedPairs {
+		fmt.Printf("  (%d, %d): %d and %d mutual ratings, positive shares %.2f and %.2f\n",
+			e.I+1, e.J+1, e.NIJ, e.NJI, e.AIJ, e.AJI)
+	}
+}

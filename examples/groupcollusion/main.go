@@ -1,0 +1,90 @@
+// Groupcollusion: detecting collusion collectives of more than two nodes —
+// the extension the paper names as future work.
+//
+// Three colluders rating in a directed ring (1→2→3→1) manufacture exactly
+// the same reputation inflation as a mutual pair, but never form a mutual
+// pair themselves, so the paper's pairwise detectors are structurally
+// blind to them. Cliques of four or more evade pairwise detection too:
+// each member's remaining partners flood it with positives, so the
+// outside-share test never fires for any single pair. The group detector
+// generalizes the collusion model to strongly connected flooding
+// collectives — excluding the whole collective when computing the outside
+// share — and catches rings and cliques of any size, with pairs as the
+// 2-cycle special case.
+//
+// Run with:
+//
+//	go run ./examples/groupcollusion
+package main
+
+import (
+	"fmt"
+
+	collusion "github.com/p2psim/collusion"
+)
+
+func main() {
+	const nodes = 24
+	ledger := collusion.NewLedger(nodes)
+
+	// A directed 3-ring: each member floods the next with positives.
+	ring := []int{1, 2, 3}
+	for i, m := range ring {
+		next := ring[(i+1)%len(ring)]
+		for k := 0; k < 30; k++ {
+			ledger.Record(m, next, +1)
+		}
+	}
+	// A 4-clique: everyone floods everyone.
+	clique := []int{10, 11, 12, 13}
+	for _, a := range clique {
+		for _, b := range clique {
+			if a == b {
+				continue
+			}
+			for k := 0; k < 25; k++ {
+				ledger.Record(a, b, +1)
+			}
+		}
+	}
+	// The rest of the network rates all colluders down (poor service).
+	for _, bad := range append(append([]int{}, ring...), clique...) {
+		for k := 0; k < 6; k++ {
+			ledger.Record(16+k%4, bad, -1)
+		}
+	}
+	// Honest popular node for contrast.
+	for k := 0; k < 40; k++ {
+		ledger.Record(16+k%8, 5, +1)
+	}
+
+	th := collusion.DefaultThresholds()
+
+	pairRes := collusion.NewOptimizedDetector(th).Detect(ledger)
+	fmt.Printf("pairwise optimized detector: %d pair(s) found\n", len(pairRes.Pairs))
+	for _, e := range pairRes.Pairs {
+		fmt.Printf("  pair (%d, %d)\n", e.I, e.J)
+	}
+	fmt.Println("  -> the 3-ring has no mutual pair at all, and even the")
+	fmt.Println("     clique evades pairwise detection: each member's other")
+	fmt.Println("     partners flood it with positives, so no single pair's")
+	fmt.Println("     outside ratings look bad enough (C2 fails pairwise)")
+
+	groupRes := collusion.NewGroupDetector(th).Detect(ledger)
+	fmt.Printf("\ngroup detector: %d collective(s) found\n", len(groupRes.Groups))
+	for _, g := range groupRes.Groups {
+		fmt.Printf("  members %v: %d internal ratings, outside positive share %.2f\n",
+			g.Members, g.InsideRatings, g.OutsidePositiveShare)
+	}
+
+	if !groupRes.HasGroup(1, 2, 3) {
+		panic("expected the 3-ring to be detected")
+	}
+	if !groupRes.HasGroup(10, 11, 12, 13) {
+		panic("expected the 4-clique to be detected")
+	}
+	if groupRes.Flagged[5] {
+		panic("honest node flagged")
+	}
+	fmt.Println("\nboth collectives detected; the honest node stays clean")
+}

@@ -1,0 +1,3 @@
+module github.com/p2psim/collusion
+
+go 1.22

@@ -1,0 +1,569 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/p2psim/collusion/internal/dht"
+	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/reputation"
+)
+
+// Kind selects which detection method a manager ring runs.
+type Kind int
+
+// Detection method kinds.
+const (
+	KindBasic Kind = iota
+	KindOptimized
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == KindBasic {
+		return "unoptimized"
+	}
+	return "optimized"
+}
+
+// ManagerRing distributes the centralized reputation manager's role over a
+// set of reputation managers organized in a Chord DHT, as in Sections
+// IV-A/B of the paper. The manager of rated node i is the DHT owner of
+// hash(i); it holds i's matrix row (all ratings received by i). During
+// detection, when a suspicion involves a node managed elsewhere, the
+// manager contacts that node's manager through the DHT (the paper's
+// Insert(j, msg) step) for the symmetric check; those request/response
+// exchanges are charged to metrics.CostManagerMessage and the underlying
+// routing hops to metrics.CostDHTMessage.
+type ManagerRing struct {
+	ring       *dht.Ring
+	managers   map[dht.ID]*manager
+	population int
+	keys       []dht.ID   // DHT key per rated node
+	ownerOf    []*manager // manager per rated node
+	th         Thresholds
+	meter      *metrics.CostMeter
+}
+
+// manager is one reputation manager: a DHT node plus the matrix rows of
+// the rated nodes it is responsible for, and replica rows mirrored from
+// its predecessor manager for failover.
+type manager struct {
+	node        *dht.Node
+	responsible []int
+	rows        map[int]*row
+	replicas    map[int]*row
+}
+
+// row is one rated node's matrix row: per-rater counts plus receive totals.
+type row struct {
+	total, pos, neg             map[int]int
+	recvTotal, recvPos, recvNeg int
+}
+
+func newRow() *row {
+	return &row{total: map[int]int{}, pos: map[int]int{}, neg: map[int]int{}}
+}
+
+// clone deep-copies a row.
+func (r *row) clone() *row {
+	c := newRow()
+	for k, v := range r.total {
+		c.total[k] = v
+	}
+	for k, v := range r.pos {
+		c.pos[k] = v
+	}
+	for k, v := range r.neg {
+		c.neg[k] = v
+	}
+	c.recvTotal, c.recvPos, c.recvNeg = r.recvTotal, r.recvPos, r.recvNeg
+	return c
+}
+
+func (r *row) summation() int { return r.recvPos - r.recvNeg }
+
+// NewManagerRing builds a ring of numManagers reputation managers over a
+// rated population of the given size. The meter, if non-nil, receives DHT
+// and manager message counts.
+func NewManagerRing(numManagers, population int, th Thresholds, meter *metrics.CostMeter) (*ManagerRing, error) {
+	if numManagers < 1 {
+		return nil, fmt.Errorf("core: numManagers = %d, want >= 1", numManagers)
+	}
+	if population < 1 {
+		return nil, fmt.Errorf("core: population = %d, want >= 1", population)
+	}
+	if err := th.Validate(); err != nil {
+		return nil, err
+	}
+	ring, err := dht.NewRing(32, meter)
+	if err != nil {
+		return nil, err
+	}
+	mr := &ManagerRing{
+		ring:       ring,
+		managers:   map[dht.ID]*manager{},
+		population: population,
+		keys:       make([]dht.ID, population),
+		ownerOf:    make([]*manager, population),
+		th:         th,
+		meter:      meter,
+	}
+	for k := 0; k < numManagers; k++ {
+		name := fmt.Sprintf("manager-%d", k)
+		node, err := ring.AddNode(name)
+		if err != nil {
+			// Hash collisions are vanishingly rare in a 32-bit space; retry
+			// with a salted name rather than failing setup.
+			node, err = ring.AddNode(name + "-salt")
+			if err != nil {
+				return nil, err
+			}
+		}
+		mr.managers[node.ID()] = &manager{node: node, rows: map[int]*row{}, replicas: map[int]*row{}}
+	}
+	space := ring.Space()
+	for i := 0; i < population; i++ {
+		mr.keys[i] = space.HashInt(i)
+		owner, err := ring.Owner(mr.keys[i])
+		if err != nil {
+			return nil, err
+		}
+		m := mr.managers[owner.ID()]
+		m.responsible = append(m.responsible, i)
+		mr.ownerOf[i] = m
+	}
+	for _, m := range mr.managers {
+		sort.Ints(m.responsible)
+	}
+	return mr, nil
+}
+
+// Managers returns the number of reputation managers on the ring.
+func (mr *ManagerRing) Managers() int { return len(mr.managers) }
+
+// ManagerOf returns the name of the manager responsible for rated node i.
+func (mr *ManagerRing) ManagerOf(i int) (string, error) {
+	if i < 0 || i >= mr.population {
+		return "", fmt.Errorf("core: node %d outside population [0,%d)", i, mr.population)
+	}
+	return mr.ownerOf[i].node.Name(), nil
+}
+
+// Record reports one rating: it is routed through the DHT to the target's
+// reputation manager, which updates the target's matrix row. Routing hops
+// are charged to the meter by the underlying ring.
+func (mr *ManagerRing) Record(rater, target, polarity int) error {
+	if rater < 0 || rater >= mr.population || target < 0 || target >= mr.population {
+		return fmt.Errorf("core: Record(%d, %d) outside population [0,%d)", rater, target, mr.population)
+	}
+	if rater == target {
+		return fmt.Errorf("core: node %d rated itself", rater)
+	}
+	if polarity < -1 || polarity > 1 {
+		return fmt.Errorf("core: polarity %d, want -1, 0 or 1", polarity)
+	}
+	// Route the rating to the manager (the paper's Insert(ID_i, r_i)).
+	owner, _, err := mr.ring.FindSuccessor(nil, mr.keys[target])
+	if err != nil {
+		return err
+	}
+	m := mr.managers[owner.ID()]
+	applyRating(rowFor(m.rows, target), rater, polarity)
+	// Mirror the update onto the successor manager so the row survives a
+	// manager crash (single-manager rings have nobody to mirror to).
+	if backup := mr.successorManager(m); backup != nil {
+		applyRating(rowFor(backup.replicas, target), rater, polarity)
+	}
+	return nil
+}
+
+// rowFor fetches or creates the row for target in the given row map.
+func rowFor(rows map[int]*row, target int) *row {
+	r := rows[target]
+	if r == nil {
+		r = newRow()
+		rows[target] = r
+	}
+	return r
+}
+
+// applyRating folds one rating into a row.
+func applyRating(r *row, rater, polarity int) {
+	r.total[rater]++
+	r.recvTotal++
+	switch polarity {
+	case 1:
+		r.pos[rater]++
+		r.recvPos++
+	case -1:
+		r.neg[rater]++
+		r.recvNeg++
+	}
+}
+
+// successorManager returns the manager following m on the ring, or nil
+// when m is the only manager.
+func (mr *ManagerRing) successorManager(m *manager) *manager {
+	succ := m.node.Successor()
+	if succ == nil || succ == m.node {
+		return nil
+	}
+	return mr.managers[succ.ID()]
+}
+
+// FailManager crashes the named reputation manager: its DHT node fails,
+// responsibility moves to the surviving owners, and the failed manager's
+// rows are recovered from the replicas its successor held. It returns an
+// error for unknown managers or when it would leave the ring empty.
+func (mr *ManagerRing) FailManager(name string) error {
+	var victim *manager
+	for _, m := range mr.managers {
+		if m.node.Name() == name {
+			victim = m
+			break
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("core: no manager named %q", name)
+	}
+	if len(mr.managers) == 1 {
+		return fmt.Errorf("core: cannot fail the last manager")
+	}
+	// The successor holds the victim's replicas; capture them before the
+	// topology changes.
+	backup := mr.successorManager(victim)
+	if err := mr.ring.Fail(victim.node.ID()); err != nil {
+		return err
+	}
+	delete(mr.managers, victim.node.ID())
+
+	// Recompute responsibility for the whole population.
+	for _, m := range mr.managers {
+		m.responsible = m.responsible[:0]
+	}
+	for i := 0; i < mr.population; i++ {
+		owner, err := mr.ring.Owner(mr.keys[i])
+		if err != nil {
+			return err
+		}
+		m := mr.managers[owner.ID()]
+		m.responsible = append(m.responsible, i)
+		mr.ownerOf[i] = m
+	}
+	for _, m := range mr.managers {
+		sort.Ints(m.responsible)
+	}
+	// Promote the victim's replicated rows at their new owners.
+	if backup != nil {
+		for target, r := range backup.replicas {
+			newOwner := mr.ownerOf[target]
+			if newOwner.rows[target] == nil {
+				newOwner.rows[target] = r
+			}
+		}
+	}
+	// Rebuild every replica set for the new topology.
+	for _, m := range mr.managers {
+		m.replicas = map[int]*row{}
+	}
+	for _, m := range mr.managers {
+		backup := mr.successorManager(m)
+		if backup == nil {
+			continue
+		}
+		for target, r := range m.rows {
+			backup.replicas[target] = r.clone()
+		}
+	}
+	return nil
+}
+
+// RecordLedger bulk-loads a full ledger into the managers, charging no
+// routing cost; experiments use it to compare centralized and
+// decentralized detection on identical data.
+func (mr *ManagerRing) RecordLedger(l *reputation.Ledger) error {
+	if l.Size() != mr.population {
+		return fmt.Errorf("core: ledger size %d != population %d", l.Size(), mr.population)
+	}
+	for target := 0; target < mr.population; target++ {
+		m := mr.ownerOf[target]
+		backup := mr.successorManager(m)
+		var r, br *row
+		for rater := 0; rater < mr.population; rater++ {
+			total := l.PairTotal(target, rater)
+			if total == 0 {
+				continue
+			}
+			if r == nil {
+				r = rowFor(m.rows, target)
+				if backup != nil {
+					br = rowFor(backup.replicas, target)
+				}
+			}
+			pos := l.PairPositive(target, rater)
+			neg := l.PairNegative(target, rater)
+			addCounts(r, rater, total, pos, neg)
+			if br != nil {
+				addCounts(br, rater, total, pos, neg)
+			}
+		}
+	}
+	return nil
+}
+
+// addCounts folds aggregate counts into a row.
+func addCounts(r *row, rater, total, pos, neg int) {
+	r.total[rater] += total
+	r.pos[rater] += pos
+	r.neg[rater] += neg
+	r.recvTotal += total
+	r.recvPos += pos
+	r.recvNeg += neg
+}
+
+// ResetPeriod clears all manager rows for a new period T.
+func (mr *ManagerRing) ResetPeriod() {
+	for _, m := range mr.managers {
+		m.rows = map[int]*row{}
+		m.replicas = map[int]*row{}
+	}
+}
+
+// Detect runs the distributed detection protocol with the selected method
+// and aggregates every manager's findings.
+func (mr *ManagerRing) Detect(kind Kind) Result {
+	res := Result{Flagged: make([]bool, mr.population)}
+	// Deterministic manager order.
+	ids := make([]dht.ID, 0, len(mr.managers))
+	for id := range mr.managers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, id := range ids {
+		m := mr.managers[id]
+		for _, target := range m.responsible {
+			r := m.rows[target]
+			if r == nil {
+				continue
+			}
+			if float64(r.summation()) < mr.th.TR {
+				continue
+			}
+			mr.scanTarget(kind, m, target, r, &res)
+		}
+	}
+	mr.associationSweep(&res)
+	res.sortPairs()
+	return res
+}
+
+// associationSweep is the distributed counterpart of the centralized
+// sweep: detected colluder identities are published to the managers (their
+// reputations are zeroed anyway), and each colluder's manager checks the
+// colluder's frequent almost-always-positive raters for reciprocation,
+// contacting the rater's manager when it lives elsewhere.
+func (mr *ManagerRing) associationSweep(res *Result) {
+	if mr.th.StrictReverse {
+		return
+	}
+	queue := res.FlaggedNodes()
+	inQueue := make(map[int]bool, len(queue))
+	for _, c := range queue {
+		inQueue[c] = true
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		m := mr.ownerOf[c]
+		r := m.rows[c]
+		if r == nil {
+			continue
+		}
+		raters := make([]int, 0, len(r.total))
+		for rater := range r.total {
+			raters = append(raters, rater)
+		}
+		sort.Ints(raters)
+		for _, x := range raters {
+			if x == c || res.HasPair(c, x) {
+				continue
+			}
+			mr.charge(metrics.CostPairCheck, 1)
+			ncx := r.total[x]
+			if ncx < mr.th.TN || float64(r.pos[x])/float64(ncx) < mr.th.Ta {
+				continue
+			}
+			other := mr.ownerOf[x]
+			if other != m {
+				mr.routeMessage(m, x)
+				mr.charge(metrics.CostManagerMessage, 1)
+			}
+			or := other.rows[x]
+			reciprocates := false
+			if or != nil {
+				nxc := or.total[c]
+				reciprocates = nxc >= mr.th.TN && float64(or.pos[c])/float64(nxc) >= mr.th.Ta
+			}
+			if other != m {
+				mr.routeMessage(other, c)
+				mr.charge(metrics.CostManagerMessage, 1)
+			}
+			if reciprocates {
+				mr.addPair(res, c, x, r, or)
+				if !inQueue[x] {
+					inQueue[x] = true
+					queue = append(queue, x)
+				}
+			}
+		}
+	}
+}
+
+// scanTarget examines every rater of one responsible high-reputed node and
+// initiates the symmetric check — local or via a manager-to-manager
+// exchange — whenever its own side of the collusion model holds.
+func (mr *ManagerRing) scanTarget(kind Kind, m *manager, target int, r *row, res *Result) {
+	raters := make([]int, 0, len(r.total))
+	for rater := range r.total {
+		raters = append(raters, rater)
+	}
+	sort.Ints(raters)
+	for _, rater := range raters {
+		mr.charge(metrics.CostPairCheck, 1)
+		if !mr.initiates(kind, r, rater) {
+			continue
+		}
+		// Symmetric check: local if this manager also owns the rater,
+		// otherwise a request/response exchange with the rater's manager.
+		other := mr.ownerOf[rater]
+		if other != m {
+			mr.routeMessage(m, rater) // request
+			mr.charge(metrics.CostManagerMessage, 1)
+		}
+		or := other.rows[rater]
+		positive := or != nil && float64(or.summation()) >= mr.th.TR &&
+			mr.confirms(kind, or, target)
+		if other != m {
+			mr.routeMessage(other, target) // response
+			mr.charge(metrics.CostManagerMessage, 1)
+		}
+		if positive {
+			mr.addPair(res, target, rater, r, or)
+		}
+	}
+}
+
+// initiates reports whether the initiating side of the protocol holds:
+// the rater is frequent and the manager's own side of the collusion model
+// is satisfied.
+func (mr *ManagerRing) initiates(kind Kind, r *row, rater int) bool {
+	nij := r.total[rater]
+	if nij < mr.th.TN {
+		return false
+	}
+	recip := float64(r.pos[rater])/float64(nij) >= mr.th.Ta
+	if kind == KindBasic {
+		// The unoptimized method computes the outside share for every
+		// frequent rater (the cost Formula (2) eliminates), so the row
+		// scan is unconditional.
+		outLow := mr.outsideLow(r, rater)
+		return recip && outLow
+	}
+	if !mr.th.StrictReverse && !recip {
+		return false
+	}
+	mr.charge(metrics.CostBoundCheck, 1)
+	return mr.th.BoundsHold(float64(r.summation()), r.recvTotal, nij)
+}
+
+// confirms reports whether the responding manager validates the reverse
+// direction of a suspicion about one of its responsible nodes. Under the
+// strict (literal) rule it repeats the full one-sided test; under the
+// default rule it verifies only frequent, almost-always-positive
+// reciprocation.
+func (mr *ManagerRing) confirms(kind Kind, r *row, rater int) bool {
+	nji := r.total[rater]
+	if nji < mr.th.TN {
+		return false
+	}
+	recip := float64(r.pos[rater])/float64(nji) >= mr.th.Ta
+	if kind == KindBasic {
+		if !recip {
+			return false
+		}
+		if mr.th.StrictReverse {
+			return mr.outsideLow(r, rater)
+		}
+		return true
+	}
+	if mr.th.StrictReverse {
+		mr.charge(metrics.CostBoundCheck, 1)
+		return mr.th.BoundsHold(float64(r.summation()), r.recvTotal, nji)
+	}
+	return recip
+}
+
+// outsideLow computes b over a manager row excluding the suspect rater and
+// reports whether it falls below Tb.
+func (mr *ManagerRing) outsideLow(r *row, rater int) bool {
+	othersTotal, othersPos := 0, 0
+	for k, c := range r.total {
+		if k == rater {
+			continue
+		}
+		othersTotal += c
+		othersPos += r.pos[k]
+	}
+	mr.charge(metrics.CostMatrixScan, int64(len(r.total)))
+	if othersTotal == 0 {
+		return true
+	}
+	return float64(othersPos)/float64(othersTotal) < mr.th.Tb
+}
+
+// routeMessage routes a manager-to-manager message through the DHT so the
+// hop cost is realistic.
+func (mr *ManagerRing) routeMessage(from *manager, aboutNode int) {
+	if aboutNode < 0 || aboutNode >= mr.population {
+		return
+	}
+	_, _, _ = mr.ring.FindSuccessor(from.node, mr.keys[aboutNode])
+}
+
+func (mr *ManagerRing) addPair(res *Result, target, rater int, rt, rr *row) {
+	i, j := target, rater
+	ri, rj := rt, rr
+	if i > j {
+		i, j = j, i
+		ri, rj = rr, rt
+	}
+	for _, e := range res.Pairs {
+		if e.I == i && e.J == j {
+			return
+		}
+	}
+	e := Evidence{I: i, J: j}
+	if ri != nil {
+		e.NIJ = ri.total[j]
+		if e.NIJ > 0 {
+			e.AIJ = float64(ri.pos[j]) / float64(e.NIJ)
+		}
+	}
+	if rj != nil {
+		e.NJI = rj.total[i]
+		if e.NJI > 0 {
+			e.AJI = float64(rj.pos[i]) / float64(e.NJI)
+		}
+	}
+	res.Pairs = append(res.Pairs, e)
+	res.Flagged[i] = true
+	res.Flagged[j] = true
+}
+
+func (mr *ManagerRing) charge(name string, n int64) {
+	if mr.meter != nil {
+		mr.meter.Add(name, n)
+	}
+}

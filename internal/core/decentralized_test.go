@@ -1,0 +1,241 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/reputation"
+	"github.com/p2psim/collusion/internal/rng"
+)
+
+func TestNewManagerRingValidation(t *testing.T) {
+	th := DefaultThresholds()
+	if _, err := NewManagerRing(0, 10, th, nil); err == nil {
+		t.Error("zero managers accepted")
+	}
+	if _, err := NewManagerRing(3, 0, th, nil); err == nil {
+		t.Error("zero population accepted")
+	}
+	if _, err := NewManagerRing(3, 10, Thresholds{TN: 0, Ta: 0.8, Tb: 0.2}, nil); err == nil {
+		t.Error("invalid thresholds accepted")
+	}
+}
+
+func TestManagerResponsibilityPartition(t *testing.T) {
+	mr, err := NewManagerRing(5, 100, DefaultThresholds(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Managers() != 5 {
+		t.Fatalf("managers = %d, want 5", mr.Managers())
+	}
+	// Every rated node has exactly one manager.
+	seen := map[int]string{}
+	for i := 0; i < 100; i++ {
+		name, err := mr.ManagerOf(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[i] = name
+	}
+	if len(seen) != 100 {
+		t.Fatalf("only %d nodes assigned", len(seen))
+	}
+	if _, err := mr.ManagerOf(-1); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, err := mr.ManagerOf(100); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	mr, err := NewManagerRing(3, 10, DefaultThresholds(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mr.Record(0, 0, 1); err == nil {
+		t.Error("self-rating accepted")
+	}
+	if err := mr.Record(-1, 2, 1); err == nil {
+		t.Error("negative rater accepted")
+	}
+	if err := mr.Record(0, 99, 1); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if err := mr.Record(0, 1, 5); err == nil {
+		t.Error("bad polarity accepted")
+	}
+	if err := mr.Record(0, 1, 1); err != nil {
+		t.Errorf("valid rating rejected: %v", err)
+	}
+}
+
+// collusionWorkload builds a ±1 workload with planted pairs on both a
+// central ledger and a manager ring, identically.
+func collusionWorkload(t *testing.T, mr *ManagerRing, n int) *reputation.Ledger {
+	t.Helper()
+	l := reputation.NewLedger(n)
+	record := func(rater, target, pol int) {
+		l.Record(rater, target, pol)
+		if err := mr.Record(rater, target, pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Planted colluders: (1,2) and (5,6).
+	for _, p := range [][2]int{{1, 2}, {5, 6}} {
+		for k := 0; k < 25; k++ {
+			record(p[0], p[1], 1)
+			record(p[1], p[0], 1)
+		}
+		for k := 0; k < 8; k++ {
+			record(10+k%4, p[0], -1)
+			record(10+k%4, p[1], -1)
+		}
+	}
+	// Organic positives for everyone else.
+	r := rng.New(11)
+	for k := 0; k < n*20; k++ {
+		i, j := r.Intn(n), r.Intn(n)
+		if i == j || j == 1 || j == 2 || j == 5 || j == 6 {
+			continue
+		}
+		record(i, j, 1)
+	}
+	return l
+}
+
+func TestDecentralizedMatchesCentralized(t *testing.T) {
+	const n = 24
+	for _, kind := range []Kind{KindBasic, KindOptimized} {
+		mr, err := NewManagerRing(4, n, DefaultThresholds(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := collusionWorkload(t, mr, n)
+
+		var central Result
+		if kind == KindBasic {
+			central = NewBasic(DefaultThresholds()).Detect(l)
+		} else {
+			central = NewOptimized(DefaultThresholds()).Detect(l)
+		}
+		distributed := mr.Detect(kind)
+
+		if len(central.Pairs) != len(distributed.Pairs) {
+			t.Fatalf("%v: central %d pairs, distributed %d",
+				kind, len(central.Pairs), len(distributed.Pairs))
+		}
+		for i := range central.Pairs {
+			c, d := central.Pairs[i], distributed.Pairs[i]
+			if c.I != d.I || c.J != d.J {
+				t.Fatalf("%v: pair %d differs: %+v vs %+v", kind, i, c, d)
+			}
+		}
+		if !distributed.HasPair(1, 2) || !distributed.HasPair(5, 6) {
+			t.Fatalf("%v: planted pairs missed: %+v", kind, distributed.Pairs)
+		}
+	}
+}
+
+func TestDecentralizedSingleManagerDegeneratesToCentral(t *testing.T) {
+	const n = 16
+	mr, err := NewManagerRing(1, n, DefaultThresholds(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := collusionWorkload(t, mr, n)
+	central := NewOptimized(DefaultThresholds()).Detect(l)
+	distributed := mr.Detect(KindOptimized)
+	if len(central.Pairs) != len(distributed.Pairs) {
+		t.Fatalf("single-manager mismatch: %d vs %d", len(central.Pairs), len(distributed.Pairs))
+	}
+}
+
+func TestRecordLedgerEquivalentToRecord(t *testing.T) {
+	const n = 16
+	mrA, err := NewManagerRing(3, n, DefaultThresholds(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := collusionWorkload(t, mrA, n)
+
+	mrB, err := NewManagerRing(3, n, DefaultThresholds(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mrB.RecordLedger(l); err != nil {
+		t.Fatal(err)
+	}
+	ra := mrA.Detect(KindOptimized)
+	rb := mrB.Detect(KindOptimized)
+	if len(ra.Pairs) != len(rb.Pairs) {
+		t.Fatalf("bulk load diverged: %d vs %d pairs", len(ra.Pairs), len(rb.Pairs))
+	}
+	for i := range ra.Pairs {
+		if ra.Pairs[i] != rb.Pairs[i] {
+			t.Fatalf("pair %d differs: %+v vs %+v", i, ra.Pairs[i], rb.Pairs[i])
+		}
+	}
+	if err := mrB.RecordLedger(reputation.NewLedger(5)); err == nil {
+		t.Error("size-mismatched ledger accepted")
+	}
+}
+
+func TestCrossManagerMessagesCounted(t *testing.T) {
+	// With many managers, the two colluders almost surely live on
+	// different managers; detection must then exchange messages.
+	var meter metrics.CostMeter
+	const n = 24
+	mr, err := NewManagerRing(8, n, DefaultThresholds(), &meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collusionWorkload(t, mr, n)
+	meter.Reset() // ignore rating-routing hops
+	res := mr.Detect(KindOptimized)
+	if len(res.Pairs) == 0 {
+		t.Fatal("no pairs detected")
+	}
+	m1, _ := mr.ManagerOf(1)
+	m2, _ := mr.ManagerOf(2)
+	if m1 != m2 && meter.Get(metrics.CostManagerMessage) == 0 {
+		t.Fatal("cross-manager detection exchanged no messages")
+	}
+}
+
+func TestResetPeriodClearsState(t *testing.T) {
+	const n = 16
+	mr, err := NewManagerRing(3, n, DefaultThresholds(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collusionWorkload(t, mr, n)
+	mr.ResetPeriod()
+	if res := mr.Detect(KindOptimized); len(res.Pairs) != 0 {
+		t.Fatalf("detection after reset found %d pairs", len(res.Pairs))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindBasic.String() != "unoptimized" || KindOptimized.String() != "optimized" {
+		t.Fatal("Kind strings wrong")
+	}
+}
+
+func BenchmarkDecentralizedDetect(b *testing.B) {
+	const n = 100
+	mr, err := NewManagerRing(8, n, DefaultThresholds(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := benchLedger(n)
+	if err := mr.RecordLedger(l); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mr.Detect(KindOptimized)
+	}
+}

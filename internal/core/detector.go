@@ -1,0 +1,383 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/reputation"
+)
+
+// Evidence describes one detected colluding pair with the statistics that
+// triggered the detection. I < J always.
+type Evidence struct {
+	I, J int
+	// NIJ is N_(I,J): ratings I received from J; NJI the reverse.
+	NIJ, NJI int
+	// AIJ is the positive share of J's ratings for I; AJI the reverse.
+	AIJ, AJI float64
+}
+
+// Result is a detection outcome over one ledger period.
+type Result struct {
+	// Pairs lists detected colluding pairs sorted by (I, J).
+	Pairs []Evidence
+	// Flagged[i] reports whether node i appears in any detected pair.
+	Flagged []bool
+}
+
+// FlaggedNodes returns the indices of all flagged nodes, ascending.
+func (r Result) FlaggedNodes() []int {
+	var out []int
+	for i, f := range r.Flagged {
+		if f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// HasPair reports whether {a, b} was detected (in either order).
+func (r Result) HasPair(a, b int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	for _, e := range r.Pairs {
+		if e.I == a && e.J == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Detector is a collusion detection method operating on a period ledger.
+type Detector interface {
+	// Detect derives high-reputed candidates from the ledger's summation
+	// scores (R >= TR) and searches them for colluding pairs.
+	Detect(l *reputation.Ledger) Result
+	// DetectAmong searches only the given candidate nodes, for hosts that
+	// determine trustworthiness with their own engine (e.g. EigenTrust
+	// with a normalized threshold).
+	DetectAmong(l *reputation.Ledger, candidates []int) Result
+	// Name identifies the method in experiment output.
+	Name() string
+}
+
+// Basic is the unoptimized detection method of Section IV-B. For each
+// high-reputed node it walks the node's matrix row; for each frequent,
+// highly positive rater it re-scans the row to compute the outside
+// positive share, then performs the symmetric examination of the rater's
+// own row. Work is charged to the meter per matrix element visited,
+// making the O(mn²) complexity of Proposition 4.1 measurable.
+type Basic struct {
+	Thresholds Thresholds
+	// Meter, if non-nil, accumulates metrics.CostMatrixScan and
+	// metrics.CostPairCheck.
+	Meter *metrics.CostMeter
+}
+
+// NewBasic returns a basic detector with the given thresholds.
+func NewBasic(t Thresholds) *Basic { return &Basic{Thresholds: t} }
+
+// Name implements Detector.
+func (b *Basic) Name() string { return "unoptimized" }
+
+// Detect implements Detector.
+func (b *Basic) Detect(l *reputation.Ledger) Result {
+	return b.DetectAmong(l, summationCandidates(l, b.Thresholds.TR))
+}
+
+// DetectAmong implements Detector.
+func (b *Basic) DetectAmong(l *reputation.Ledger, candidates []int) Result {
+	n := l.Size()
+	res := Result{Flagged: make([]bool, n)}
+	high := make([]bool, n)
+	for _, c := range candidates {
+		if c >= 0 && c < n {
+			high[c] = true
+		}
+	}
+	checked := make(map[[2]int]bool)
+
+	// Scan rows top-down, elements left to right, as the paper describes.
+	for i := 0; i < n; i++ {
+		if !high[i] { // empty matrix row: node not high-reputed
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			key := pairKey(i, j)
+			if checked[key] {
+				continue
+			}
+			b.charge(metrics.CostPairCheck, 1)
+			b.charge(metrics.CostMatrixScan, 1) // visiting element a_ij
+			// C1 screen: only pairs of high-reputed nodes can collude
+			// profitably, so other raters are not examined further.
+			if !high[j] {
+				continue
+			}
+			checked[key] = true
+			// C2 on n_i: compute the outside positive share by re-scanning
+			// the matrix row. The unoptimized method pays this O(n) scan
+			// for every examined rater — the cost Proposition 4.1 counts
+			// and Formula (2) later eliminates.
+			outI := b.outsideLow(l, i, j)
+			// C4 + C3 forward screen: j rates i frequently and almost
+			// always positively.
+			nij := l.PairTotal(i, j)
+			if nij < b.Thresholds.TN ||
+				float64(l.PairPositive(i, j))/float64(nij) < b.Thresholds.Ta {
+				continue
+			}
+			if b.Thresholds.StrictReverse && !outI {
+				continue
+			}
+			// Symmetric screen on n_j's element a_ji.
+			nji := l.PairTotal(j, i)
+			b.charge(metrics.CostMatrixScan, 1)
+			if nji < b.Thresholds.TN ||
+				float64(l.PairPositive(j, i))/float64(nji) < b.Thresholds.Ta {
+				continue
+			}
+			// The strict (literal Section IV) rule demands the outside
+			// test of both sides; the default demands it of at least one.
+			if b.Thresholds.StrictReverse {
+				if b.outsideLow(l, j, i) {
+					res.addPair(l, i, j)
+				}
+				continue
+			}
+			if outI || b.outsideLow(l, j, i) {
+				res.addPair(l, i, j)
+			}
+		}
+	}
+	associationSweep(l, b.Thresholds, &res, func(n int64) { b.charge(metrics.CostPairCheck, n) })
+	res.sortPairs()
+	return res
+}
+
+// outsideLow re-scans the target's matrix row to compute b, the positive
+// share of every rating except the suspect rater's, and reports whether it
+// falls below Tb. This O(n) re-scan is exactly the step the optimized
+// method eliminates.
+func (b *Basic) outsideLow(l *reputation.Ledger, target, rater int) bool {
+	n := l.Size()
+	othersTotal, othersPos := 0, 0
+	for k := 0; k < n; k++ {
+		if k == rater || k == target {
+			continue
+		}
+		othersTotal += l.PairTotal(target, k)
+		othersPos += l.PairPositive(target, k)
+	}
+	b.charge(metrics.CostMatrixScan, int64(n))
+	if othersTotal == 0 {
+		// All of the target's reputation comes from the single rater —
+		// the most extreme form of the pattern.
+		return true
+	}
+	return float64(othersPos)/float64(othersTotal) < b.Thresholds.Tb
+}
+
+func (b *Basic) charge(name string, n int64) {
+	if b.Meter != nil {
+		b.Meter.Add(name, n)
+	}
+}
+
+// Optimized is the detection method of Section IV-C: instead of re-scanning
+// a row to compute the outside share b, it checks whether the node's
+// summation reputation lies inside the Formula (2) interval, which needs
+// only R_i, N_i and N_(i,j). Work is charged per bound evaluation, making
+// the O(mn) complexity of Proposition 4.2 measurable.
+type Optimized struct {
+	Thresholds Thresholds
+	// Meter, if non-nil, accumulates metrics.CostBoundCheck and
+	// metrics.CostPairCheck.
+	Meter *metrics.CostMeter
+}
+
+// NewOptimized returns an optimized detector with the given thresholds.
+func NewOptimized(t Thresholds) *Optimized { return &Optimized{Thresholds: t} }
+
+// Name implements Detector.
+func (o *Optimized) Name() string { return "optimized" }
+
+// Detect implements Detector.
+func (o *Optimized) Detect(l *reputation.Ledger) Result {
+	return o.DetectAmong(l, summationCandidates(l, o.Thresholds.TR))
+}
+
+// DetectAmong implements Detector.
+func (o *Optimized) DetectAmong(l *reputation.Ledger, candidates []int) Result {
+	n := l.Size()
+	res := Result{Flagged: make([]bool, n)}
+	high := make([]bool, n)
+	for _, c := range candidates {
+		if c >= 0 && c < n {
+			high[c] = true
+		}
+	}
+	checked := make(map[[2]int]bool)
+
+	for i := 0; i < n; i++ {
+		if !high[i] {
+			continue
+		}
+		ri := float64(l.SummationScore(i))
+		ni := l.TotalFor(i)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			key := pairKey(i, j)
+			if checked[key] {
+				continue
+			}
+			o.charge(metrics.CostPairCheck, 1)
+			if !high[j] {
+				continue
+			}
+			checked[key] = true
+			nij, nji := l.PairTotal(i, j), l.PairTotal(j, i)
+			if nij < o.Thresholds.TN || nji < o.Thresholds.TN {
+				continue
+			}
+			rj := float64(l.SummationScore(j))
+			nj := l.TotalFor(j)
+			if o.Thresholds.StrictReverse {
+				// Literal Section IV-C: Formula (2) must hold on both
+				// sides. Each evaluation needs only R, N and N_(i,j).
+				o.charge(metrics.CostBoundCheck, 1)
+				if !o.Thresholds.BoundsHold(ri, ni, nij) {
+					continue
+				}
+				o.charge(metrics.CostBoundCheck, 1)
+				if !o.Thresholds.BoundsHold(rj, nj, nji) {
+					continue
+				}
+				res.addPair(l, i, j)
+				continue
+			}
+			// Default rule: mutual frequent almost-always-positive rating
+			// (read off the two matrix elements, no row scan) plus
+			// Formula (2) on at least one side.
+			if float64(l.PairPositive(i, j))/float64(nij) < o.Thresholds.Ta ||
+				float64(l.PairPositive(j, i))/float64(nji) < o.Thresholds.Ta {
+				continue
+			}
+			o.charge(metrics.CostBoundCheck, 1)
+			holdI := o.Thresholds.BoundsHold(ri, ni, nij)
+			if !holdI {
+				o.charge(metrics.CostBoundCheck, 1)
+				if !o.Thresholds.BoundsHold(rj, nj, nji) {
+					continue
+				}
+			}
+			res.addPair(l, i, j)
+		}
+	}
+	associationSweep(l, o.Thresholds, &res, func(n int64) { o.charge(metrics.CostPairCheck, n) })
+	res.sortPairs()
+	return res
+}
+
+// associationSweep closes the detected set under colluding partnership:
+// any node in a frequent, mutually almost-always-positive rating
+// relationship with an already-detected colluder is flagged with it. This
+// pass (part of the default, figure-faithful rule; disabled by
+// StrictReverse) is what catches compromised pretrusted nodes in the
+// Figure 11 scenario — their outside reputation is honestly earned, so no
+// reputation test can implicate them, but reciprocating a colluder's
+// rating flood can.
+func associationSweep(l *reputation.Ledger, th Thresholds, res *Result, charge func(int64)) {
+	if th.StrictReverse {
+		return
+	}
+	n := l.Size()
+	queue := res.FlaggedNodes()
+	inQueue := make(map[int]bool, len(queue))
+	for _, c := range queue {
+		inQueue[c] = true
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for x := 0; x < n; x++ {
+			if x == c || res.HasPair(c, x) {
+				continue
+			}
+			charge(1)
+			ncx, nxc := l.PairTotal(c, x), l.PairTotal(x, c)
+			if ncx < th.TN || nxc < th.TN {
+				continue
+			}
+			if float64(l.PairPositive(c, x))/float64(ncx) < th.Ta ||
+				float64(l.PairPositive(x, c))/float64(nxc) < th.Ta {
+				continue
+			}
+			res.addPair(l, c, x)
+			if !inQueue[x] {
+				inQueue[x] = true
+				queue = append(queue, x)
+			}
+		}
+	}
+}
+
+func (o *Optimized) charge(name string, n int64) {
+	if o.Meter != nil {
+		o.Meter.Add(name, n)
+	}
+}
+
+// summationCandidates returns nodes whose summation reputation reaches tr.
+func summationCandidates(l *reputation.Ledger, tr float64) []int {
+	var out []int
+	for i := 0; i < l.Size(); i++ {
+		if float64(l.SummationScore(i)) >= tr {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func (r *Result) addPair(l *reputation.Ledger, i, j int) {
+	if i > j {
+		i, j = j, i
+	}
+	for _, e := range r.Pairs {
+		if e.I == i && e.J == j {
+			return
+		}
+	}
+	e := Evidence{I: i, J: j, NIJ: l.PairTotal(i, j), NJI: l.PairTotal(j, i)}
+	if e.NIJ > 0 {
+		e.AIJ = float64(l.PairPositive(i, j)) / float64(e.NIJ)
+	}
+	if e.NJI > 0 {
+		e.AJI = float64(l.PairPositive(j, i)) / float64(e.NJI)
+	}
+	r.Pairs = append(r.Pairs, e)
+	r.Flagged[i] = true
+	r.Flagged[j] = true
+}
+
+func (r *Result) sortPairs() {
+	sort.Slice(r.Pairs, func(a, b int) bool {
+		if r.Pairs[a].I != r.Pairs[b].I {
+			return r.Pairs[a].I < r.Pairs[b].I
+		}
+		return r.Pairs[a].J < r.Pairs[b].J
+	})
+}

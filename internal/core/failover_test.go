@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestFailManagerValidation(t *testing.T) {
+	mr, err := NewManagerRing(3, 20, DefaultThresholds(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mr.FailManager("nope"); err == nil {
+		t.Error("unknown manager failure accepted")
+	}
+
+	single, err := NewManagerRing(1, 20, DefaultThresholds(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, _ := single.ManagerOf(0)
+	if err := single.FailManager(name); err == nil {
+		t.Error("failing the last manager accepted")
+	}
+}
+
+func TestFailManagerReassignsResponsibility(t *testing.T) {
+	mr, err := NewManagerRing(4, 60, DefaultThresholds(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := mr.ManagerOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mr.FailManager(victim); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Managers() != 3 {
+		t.Fatalf("managers = %d, want 3", mr.Managers())
+	}
+	// Every rated node must have a surviving manager, and never the victim.
+	for i := 0; i < 60; i++ {
+		name, err := mr.ManagerOf(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == victim {
+			t.Fatalf("node %d still assigned to failed manager", i)
+		}
+	}
+}
+
+// Detection results must survive the crash of the manager holding the
+// colluders' rows: the successor's replicas are promoted.
+func TestDetectionSurvivesManagerCrash(t *testing.T) {
+	const n = 24
+	mr, err := NewManagerRing(5, n, DefaultThresholds(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collusionWorkload(t, mr, n)
+	before := mr.Detect(KindOptimized)
+	if len(before.Pairs) == 0 {
+		t.Fatal("no pairs before crash")
+	}
+
+	// Crash the manager responsible for colluder 1.
+	victim, err := mr.ManagerOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mr.FailManager(victim); err != nil {
+		t.Fatal(err)
+	}
+	after := mr.Detect(KindOptimized)
+	if len(after.Pairs) != len(before.Pairs) {
+		t.Fatalf("detection changed after crash: %d vs %d pairs",
+			len(after.Pairs), len(before.Pairs))
+	}
+	for i := range before.Pairs {
+		if before.Pairs[i].I != after.Pairs[i].I || before.Pairs[i].J != after.Pairs[i].J {
+			t.Fatalf("pair %d differs after crash: %+v vs %+v",
+				i, before.Pairs[i], after.Pairs[i])
+		}
+	}
+}
+
+// Sequential crashes down to a single manager must preserve detection as
+// long as each crash is followed by re-replication (which FailManager
+// performs).
+func TestSequentialManagerCrashes(t *testing.T) {
+	const n = 24
+	mr, err := NewManagerRing(5, n, DefaultThresholds(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collusionWorkload(t, mr, n)
+	want := mr.Detect(KindOptimized)
+
+	for mr.Managers() > 1 {
+		name, err := mr.ManagerOf(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mr.FailManager(name); err != nil {
+			t.Fatal(err)
+		}
+		got := mr.Detect(KindOptimized)
+		if len(got.Pairs) != len(want.Pairs) {
+			t.Fatalf("with %d managers: %d pairs, want %d",
+				mr.Managers(), len(got.Pairs), len(want.Pairs))
+		}
+	}
+}
+
+// Ratings recorded after a crash land at the new owners and detection
+// continues to work on the merged state.
+func TestRecordingAfterCrash(t *testing.T) {
+	const n = 24
+	mr, err := NewManagerRing(4, n, DefaultThresholds(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the collusion before the crash...
+	record := func(rater, target, pol int) {
+		if err := mr.Record(rater, target, pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 13; k++ {
+		record(1, 2, 1)
+		record(2, 1, 1)
+	}
+	victim, _ := mr.ManagerOf(1)
+	if err := mr.FailManager(victim); err != nil {
+		t.Fatal(err)
+	}
+	// ...and half after.
+	for k := 0; k < 12; k++ {
+		record(1, 2, 1)
+		record(2, 1, 1)
+	}
+	for k := 0; k < 8; k++ {
+		record(10+k%4, 1, -1)
+		record(10+k%4, 2, -1)
+	}
+	res := mr.Detect(KindOptimized)
+	if !res.HasPair(1, 2) {
+		t.Fatalf("pair lost across crash: %+v", res.Pairs)
+	}
+	e := res.Pairs[0]
+	if e.NIJ != 25 || e.NJI != 25 {
+		t.Fatalf("merged counts wrong: %+v", e)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/reputation"
+)
+
+// Sybil-style boosting is the second future-work case the paper names: an
+// attacker manufactures many cheap identities that all flood one
+// beneficiary with positive ratings. Unlike pair or ring collusion the
+// relationship is one-way — the fake identities never need reputations of
+// their own, so neither the reciprocity test of the pairwise methods nor
+// the strongly-connected structure of the group detector can fire.
+//
+// The Sybil detector keeps the collusion model's economics but drops
+// reciprocity:
+//
+//   - C1: the beneficiary is high-reputed;
+//   - C3+C4: at least MinBoosters distinct raters each rate the
+//     beneficiary frequently (>= TN) and almost always positively (>= Ta)
+//     — a single such rater is the pairwise detectors' business, but a
+//     swarm of them is the Sybil signature (honest popularity shows up as
+//     many low-frequency raters instead: the Amazon trace's organic
+//     buyer-seller pairs average one rating per year);
+//   - C2: excluding the flooding swarm, the beneficiary's remaining
+//     ratings are mostly negative (< Tb), i.e. its reputation is
+//     manufactured by the swarm.
+//
+// The booster identities themselves need no reputation screen — they are
+// throwaways by construction.
+
+// SybilFinding is one detected boosting swarm.
+type SybilFinding struct {
+	// Target is the boosted beneficiary.
+	Target int
+	// Boosters lists the flooding rater identities, ascending.
+	Boosters []int
+	// BoosterRatings is the total number of ratings the boosters gave the
+	// target during the period.
+	BoosterRatings int
+	// OutsidePositiveShare is the positive share of the target's ratings
+	// from everyone except the boosters; zero when no such ratings exist.
+	OutsidePositiveShare float64
+}
+
+// SybilResult is the outcome of Sybil detection.
+type SybilResult struct {
+	// Findings lists detected swarms ordered by target.
+	Findings []SybilFinding
+	// Flagged[i] reports whether node i is a detected beneficiary or
+	// booster.
+	Flagged []bool
+}
+
+// FlaggedNodes returns all flagged node indices, ascending.
+func (r SybilResult) FlaggedNodes() []int {
+	var out []int
+	for i, f := range r.Flagged {
+		if f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// HasTarget reports whether the node was detected as a boosted
+// beneficiary.
+func (r SybilResult) HasTarget(node int) bool {
+	for _, f := range r.Findings {
+		if f.Target == node {
+			return true
+		}
+	}
+	return false
+}
+
+// SybilDetector finds one-way boosting swarms.
+type SybilDetector struct {
+	Thresholds Thresholds
+	// MinBoosters is the minimum swarm size (default 3; smaller swarms
+	// either are pairs — the pairwise methods' case — or provide too
+	// little boost to matter).
+	MinBoosters int
+	// MinConcentration is the minimum share of a booster's outgoing
+	// ratings that must go to the beneficiary (default 0.5). Fake
+	// identities exist solely to boost, so their concentration is near 1;
+	// an honest node's loyal customers also rate the other servers they
+	// use, which keeps their concentration low and prevents popular
+	// honest nodes from being mistaken for beneficiaries.
+	MinConcentration float64
+	// Meter, if non-nil, accumulates metrics.CostPairCheck per examined
+	// rater and metrics.CostMatrixScan per outside-share scan.
+	Meter *metrics.CostMeter
+}
+
+// Default Sybil-detector parameters.
+const (
+	DefaultMinBoosters      = 3
+	DefaultMinConcentration = 0.5
+)
+
+// NewSybilDetector returns a Sybil detector with the given thresholds.
+func NewSybilDetector(t Thresholds) *SybilDetector {
+	return &SybilDetector{
+		Thresholds:       t,
+		MinBoosters:      DefaultMinBoosters,
+		MinConcentration: DefaultMinConcentration,
+	}
+}
+
+// Name identifies the method in experiment output.
+func (d *SybilDetector) Name() string { return "sybil" }
+
+// Detect derives high-reputed candidates from summation scores and
+// searches them for boosting swarms.
+func (d *SybilDetector) Detect(l *reputation.Ledger) SybilResult {
+	return d.DetectAmong(l, summationCandidates(l, d.Thresholds.TR))
+}
+
+// DetectAmong searches only the given candidate beneficiaries.
+func (d *SybilDetector) DetectAmong(l *reputation.Ledger, candidates []int) SybilResult {
+	n := l.Size()
+	res := SybilResult{Flagged: make([]bool, n)}
+	minBoosters := d.MinBoosters
+	if minBoosters < 1 {
+		minBoosters = DefaultMinBoosters
+	}
+	minConc := d.MinConcentration
+	if minConc <= 0 {
+		minConc = DefaultMinConcentration
+	}
+	seen := make(map[int]bool, len(candidates))
+	var targets []int
+	for _, c := range candidates {
+		if c >= 0 && c < n && !seen[c] {
+			seen[c] = true
+			targets = append(targets, c)
+		}
+	}
+	sort.Ints(targets)
+
+	for _, target := range targets {
+		var boosters []int
+		boosterRatings := 0
+		for rater := 0; rater < n; rater++ {
+			if rater == target {
+				continue
+			}
+			d.charge(metrics.CostPairCheck, 1)
+			cnt := l.PairTotal(target, rater)
+			if cnt < d.Thresholds.TN {
+				continue
+			}
+			if float64(l.PairPositive(target, rater))/float64(cnt) < d.Thresholds.Ta {
+				continue
+			}
+			// Fake identities concentrate their ratings on the
+			// beneficiary; honest frequent customers spread theirs.
+			if out := l.OutgoingTotal(rater); out == 0 ||
+				float64(cnt)/float64(out) < minConc {
+				continue
+			}
+			boosters = append(boosters, rater)
+			boosterRatings += cnt
+		}
+		if len(boosters) < minBoosters {
+			continue
+		}
+		// Outside test over everyone except the swarm.
+		inSwarm := make(map[int]bool, len(boosters))
+		for _, b := range boosters {
+			inSwarm[b] = true
+		}
+		outTotal, outPos := 0, 0
+		for rater := 0; rater < n; rater++ {
+			if rater == target || inSwarm[rater] {
+				continue
+			}
+			outTotal += l.PairTotal(target, rater)
+			outPos += l.PairPositive(target, rater)
+		}
+		d.charge(metrics.CostMatrixScan, int64(n))
+		share := 0.0
+		if outTotal > 0 {
+			share = float64(outPos) / float64(outTotal)
+		}
+		if outTotal > 0 && share >= d.Thresholds.Tb {
+			continue // the outside world corroborates the reputation
+		}
+		finding := SybilFinding{
+			Target:               target,
+			Boosters:             boosters,
+			BoosterRatings:       boosterRatings,
+			OutsidePositiveShare: share,
+		}
+		res.Findings = append(res.Findings, finding)
+		res.Flagged[target] = true
+		for _, b := range boosters {
+			res.Flagged[b] = true
+		}
+	}
+	return res
+}
+
+func (d *SybilDetector) charge(name string, n int64) {
+	if d.Meter != nil {
+		d.Meter.Add(name, n)
+	}
+}

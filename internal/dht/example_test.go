@@ -1,0 +1,43 @@
+package dht_test
+
+import (
+	"fmt"
+
+	"github.com/p2psim/collusion/internal/dht"
+)
+
+// Example reproduces the paper's Figure 2: a 4-bit Chord ring with nodes
+// 1, 6, 10 and 15, where ratings for node 10 are inserted under key 10 and
+// served by its owner.
+func Example() {
+	ring, err := dht.NewRing(4, nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, id := range []dht.ID{1, 6, 10, 15} {
+		if _, err := ring.AddNodeWithID(id, fmt.Sprintf("n%d", id)); err != nil {
+			panic(err)
+		}
+	}
+	// Insert(10, r10): other nodes report node 10's local reputation.
+	if _, err := ring.Insert(10, "r10"); err != nil {
+		panic(err)
+	}
+	owner, _ := ring.Owner(10)
+	fmt.Println("owner of key 10:", owner.Name())
+
+	// Lookup(10): a client queries node 10's reputation.
+	vals, hops, err := ring.Lookup(10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("lookup found %v (%d routing hops)\n", vals, hops)
+
+	// Key 11 wraps to the next node on the circle.
+	owner11, _ := ring.Owner(11)
+	fmt.Println("owner of key 11:", owner11.Name())
+	// Output:
+	// owner of key 10: n10
+	// lookup found [r10] (2 routing hops)
+	// owner of key 11: n15
+}

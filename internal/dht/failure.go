@@ -1,0 +1,179 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Failure tolerance. A deployed Chord ring keeps an r-entry successor list
+// per node so lookups survive node failures, and re-replicates keys when a
+// node departs abruptly (Stoica et al., Section 6). This file adds the
+// same machinery to the simulated ring: nodes can Fail (crash without
+// handing off state), lookups route around failed nodes using successor
+// lists, and keys stored at a failed node are recoverable exactly when
+// replication was enabled.
+
+// SuccessorListLength is the default number of successors each node
+// tracks; log2(n) entries suffice with high probability, and 8 covers
+// rings up to ~256 nodes.
+const SuccessorListLength = 8
+
+// Successors returns the node's successor list (up to SuccessorListLength
+// live nodes following it on the ring).
+func (n *Node) Successors() []*Node {
+	return append([]*Node(nil), n.succList...)
+}
+
+// Alive reports whether the node has not failed.
+func (n *Node) Alive() bool { return !n.failed }
+
+// ReplicationFactor returns how many successors receive a copy of each
+// key stored on the ring (0 = no replication).
+func (r *Ring) ReplicationFactor() int { return r.replicas }
+
+// SetReplicationFactor enables storing each key at the owner plus k
+// successors. Existing keys are re-replicated immediately.
+func (r *Ring) SetReplicationFactor(k int) error {
+	if k < 0 {
+		return fmt.Errorf("dht: replication factor %d, want >= 0", k)
+	}
+	r.replicas = k
+	r.replicateAll()
+	return nil
+}
+
+// replicateAll re-copies every primary key to the owner's k successors.
+func (r *Ring) replicateAll() {
+	if r.replicas == 0 {
+		return
+	}
+	for _, n := range r.liveNodes() {
+		for key, vals := range n.store {
+			if owner := r.successor(key); owner == n {
+				r.replicate(key, vals)
+			}
+		}
+	}
+}
+
+// replicate copies values of key onto the owner's k live successors.
+func (r *Ring) replicate(key ID, vals []any) {
+	owner := r.successor(key)
+	cur := owner
+	for i := 0; i < r.replicas; i++ {
+		cur = cur.succ
+		if cur == nil || cur == owner {
+			break
+		}
+		if cur.replicaStore == nil {
+			cur.replicaStore = make(map[ID][]any)
+		}
+		cur.replicaStore[key] = append([]any(nil), vals...)
+	}
+}
+
+// Fail crashes a node: its primary store is lost (unlike RemoveNode, which
+// models a graceful departure with hand-off). Lookups recover the keys
+// only if replication was enabled. Returns an error for unknown nodes.
+func (r *Ring) Fail(id ID) error {
+	n, ok := r.byID[id]
+	if !ok {
+		return fmt.Errorf("dht: no node with ID %d", id)
+	}
+	if n.failed {
+		return fmt.Errorf("dht: node %d already failed", id)
+	}
+	n.failed = true
+	delete(r.byID, id)
+	for i, node := range r.nodes {
+		if node == n {
+			r.nodes = append(r.nodes[:i], r.nodes[i+1:]...)
+			break
+		}
+	}
+	// Crash: the primary store vanishes with the node.
+	n.store = map[ID][]any{}
+	r.rebuild()
+	// Promote surviving replicas of the failed node's keys to the new
+	// owners, as the stabilization protocol would.
+	r.promoteReplicas()
+	return nil
+}
+
+// promoteReplicas moves replica copies whose primary owner changed into
+// the new owner's primary store, then refreshes replication.
+func (r *Ring) promoteReplicas() {
+	if r.replicas == 0 || len(r.nodes) == 0 {
+		return
+	}
+	for _, n := range r.liveNodes() {
+		for key, vals := range n.replicaStore {
+			owner := r.successor(key)
+			if len(owner.store[key]) == 0 {
+				owner.store[key] = append([]any(nil), vals...)
+			}
+		}
+	}
+	// Rebuild replica sets for the new topology.
+	for _, n := range r.liveNodes() {
+		n.replicaStore = map[ID][]any{}
+	}
+	r.replicateAll()
+}
+
+// liveNodes returns the current members in ascending ID order.
+func (r *Ring) liveNodes() []*Node {
+	out := make([]*Node, len(r.nodes))
+	copy(out, r.nodes)
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// buildSuccessorLists fills each node's successor list from the sorted
+// membership; called from rebuild.
+func (r *Ring) buildSuccessorLists() {
+	n := len(r.nodes)
+	if n == 0 {
+		return
+	}
+	length := SuccessorListLength
+	if length > n-1 {
+		length = n - 1
+	}
+	for i, node := range r.nodes {
+		node.succList = node.succList[:0]
+		for k := 1; k <= length; k++ {
+			node.succList = append(node.succList, r.nodes[(i+k)%n])
+		}
+	}
+}
+
+// LookupWithFallback routes to the owner of key; if the routed-to node has
+// failed mid-flight (a race a deployment must tolerate), the lookup falls
+// back along the predecessor's successor list. It returns the values, the
+// serving node, and the hops taken.
+func (r *Ring) LookupWithFallback(key ID) ([]any, *Node, int, error) {
+	owner, hops, err := r.FindSuccessor(nil, key)
+	if err != nil {
+		return nil, nil, hops, err
+	}
+	if owner.Alive() {
+		return append([]any(nil), owner.store[key]...), owner, hops, nil
+	}
+	// Walk the failed owner's successor list for a live replica holder.
+	for _, succ := range owner.succList {
+		hops++
+		r.countHop()
+		if !succ.Alive() {
+			continue
+		}
+		if vals, ok := succ.replicaStore[key]; ok {
+			return append([]any(nil), vals...), succ, hops, nil
+		}
+		if vals, ok := succ.store[key]; ok {
+			return append([]any(nil), vals...), succ, hops, nil
+		}
+		return nil, succ, hops, nil
+	}
+	return nil, nil, hops, fmt.Errorf("dht: no live successor holds key %d", key)
+}

@@ -1,0 +1,256 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/p2psim/collusion/internal/metrics"
+)
+
+// Node is a Chord participant: an identifier, a finger table, and a local
+// key/value store for the keys it owns.
+type Node struct {
+	id           ID
+	name         string
+	fingers      []*Node // fingers[k] = successor(id + 2^k)
+	succ         *Node
+	pred         *Node
+	succList     []*Node // r live successors for failure tolerance
+	store        map[ID][]any
+	replicaStore map[ID][]any // copies held on behalf of predecessors
+	failed       bool
+}
+
+// ID returns the node's position on the circle.
+func (n *Node) ID() ID { return n.id }
+
+// Name returns the label the node was registered under.
+func (n *Node) Name() string { return n.name }
+
+// Successor returns the node's immediate successor on the ring.
+func (n *Node) Successor() *Node { return n.succ }
+
+// Predecessor returns the node's immediate predecessor on the ring.
+func (n *Node) Predecessor() *Node { return n.pred }
+
+// StoredKeys returns the keys currently stored at this node, unordered.
+func (n *Node) StoredKeys() []ID {
+	out := make([]ID, 0, len(n.store))
+	for k := range n.store {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Ring is an in-process simulation of a Chord overlay. It is deterministic:
+// topology is rebuilt exactly (no probabilistic stabilization), while
+// lookups still route through finger tables and report their hop counts,
+// preserving the O(log n) message costs a deployment would pay.
+//
+// Ring is not safe for concurrent mutation; concurrent Lookups are safe
+// once the topology is built.
+type Ring struct {
+	space    Space
+	nodes    []*Node // sorted by id
+	byID     map[ID]*Node
+	meter    *metrics.CostMeter
+	replicas int // successor copies per key (0 = none)
+}
+
+// NewRing creates an empty ring over an m-bit space. The meter, if non-nil,
+// receives a metrics.CostDHTMessage increment per routing hop.
+func NewRing(bits uint, meter *metrics.CostMeter) (*Ring, error) {
+	space, err := NewSpace(bits)
+	if err != nil {
+		return nil, err
+	}
+	return &Ring{space: space, byID: make(map[ID]*Node), meter: meter}, nil
+}
+
+// Space returns the ring's identifier space.
+func (r *Ring) Space() Space { return r.space }
+
+// Len returns the number of nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the ring's nodes in ascending ID order.
+func (r *Ring) Nodes() []*Node {
+	out := make([]*Node, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// AddNode joins a node whose ID is the hash of name and returns it.
+// Keys are re-homed to preserve successor ownership.
+func (r *Ring) AddNode(name string) (*Node, error) {
+	return r.addNode(r.space.HashString(name), name)
+}
+
+// AddNodeWithID joins a node at an explicit position (useful for tests and
+// for reproducing the paper's 4-bit example ring).
+func (r *Ring) AddNodeWithID(id ID, name string) (*Node, error) {
+	return r.addNode(id&r.space.Mask(), name)
+}
+
+func (r *Ring) addNode(id ID, name string) (*Node, error) {
+	if _, exists := r.byID[id]; exists {
+		return nil, fmt.Errorf("dht: ID collision at %d (node %q)", id, name)
+	}
+	n := &Node{id: id, name: name, store: make(map[ID][]any), replicaStore: make(map[ID][]any)}
+	r.byID[id] = n
+	r.nodes = append(r.nodes, n)
+	sort.Slice(r.nodes, func(i, j int) bool { return r.nodes[i].id < r.nodes[j].id })
+	r.rebuild()
+	return n, nil
+}
+
+// RemoveNode departs a node; its stored keys are re-homed to the new owner.
+func (r *Ring) RemoveNode(id ID) error {
+	n, ok := r.byID[id]
+	if !ok {
+		return fmt.Errorf("dht: no node with ID %d", id)
+	}
+	delete(r.byID, id)
+	for i, node := range r.nodes {
+		if node == n {
+			r.nodes = append(r.nodes[:i], r.nodes[i+1:]...)
+			break
+		}
+	}
+	orphaned := n.store
+	r.rebuild()
+	if len(r.nodes) > 0 {
+		for k, vals := range orphaned {
+			owner := r.successor(k)
+			owner.store[k] = append(owner.store[k], vals...)
+		}
+	}
+	return nil
+}
+
+// rebuild recomputes successors, predecessors and finger tables exactly,
+// then re-homes any keys whose owner changed.
+func (r *Ring) rebuild() {
+	n := len(r.nodes)
+	if n == 0 {
+		return
+	}
+	for i, node := range r.nodes {
+		node.succ = r.nodes[(i+1)%n]
+		node.pred = r.nodes[(i-1+n)%n]
+		if node.fingers == nil || len(node.fingers) != int(r.space.Bits) {
+			node.fingers = make([]*Node, r.space.Bits)
+		}
+		for k := uint(0); k < r.space.Bits; k++ {
+			start := r.space.Add(node.id, 1<<k)
+			node.fingers[k] = r.successor(start)
+		}
+	}
+	// Re-home keys displaced by the topology change.
+	for _, node := range r.nodes {
+		for k, vals := range node.store {
+			owner := r.successor(k)
+			if owner != node {
+				owner.store[k] = append(owner.store[k], vals...)
+				delete(node.store, k)
+			}
+		}
+	}
+	r.buildSuccessorLists()
+}
+
+// successor finds the owner of key by direct inspection of the sorted node
+// list. It is the ground truth ownership function; routing must agree.
+func (r *Ring) successor(key ID) *Node {
+	idx := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].id >= key })
+	if idx == len(r.nodes) {
+		idx = 0
+	}
+	return r.nodes[idx]
+}
+
+// FindSuccessor routes from start to the owner of key using finger tables,
+// returning the owner and the number of hops (messages) taken. If start is
+// nil, routing begins at the first node.
+func (r *Ring) FindSuccessor(start *Node, key ID) (*Node, int, error) {
+	if len(r.nodes) == 0 {
+		return nil, 0, fmt.Errorf("dht: ring is empty")
+	}
+	cur := start
+	if cur == nil {
+		cur = r.nodes[0]
+	}
+	hops := 0
+	// Bound iterations defensively; correct routing needs at most
+	// O(space bits) closest-preceding-finger steps.
+	for limit := int(r.space.Bits)*2 + 2; limit > 0; limit-- {
+		if cur.succ == cur {
+			// Single-node ring owns everything.
+			return cur, hops, nil
+		}
+		if BetweenRightIncl(key, cur.id, cur.succ.id) {
+			r.countHop()
+			return cur.succ, hops + 1, nil
+		}
+		next := cur.closestPrecedingFinger(key)
+		if next == cur {
+			next = cur.succ
+		}
+		cur = next
+		hops++
+		r.countHop()
+	}
+	return nil, hops, fmt.Errorf("dht: routing to key %d did not converge", key)
+}
+
+func (r *Ring) countHop() {
+	if r.meter != nil {
+		r.meter.Inc(metrics.CostDHTMessage)
+	}
+}
+
+// closestPrecedingFinger returns the finger-table entry most closely
+// preceding key, as in the Chord paper.
+func (n *Node) closestPrecedingFinger(key ID) *Node {
+	for k := len(n.fingers) - 1; k >= 0; k-- {
+		f := n.fingers[k]
+		if f != nil && Between(f.id, n.id, key) {
+			return f
+		}
+	}
+	return n
+}
+
+// Owner returns the node responsible for key without counting messages
+// (a local oracle; use FindSuccessor for routed access).
+func (r *Ring) Owner(key ID) (*Node, error) {
+	if len(r.nodes) == 0 {
+		return nil, fmt.Errorf("dht: ring is empty")
+	}
+	return r.successor(key), nil
+}
+
+// Insert routes value to the owner of key and appends it to the owner's
+// store, as the paper's Insert(ID_i, r_i) primitive. It returns the hops
+// taken.
+func (r *Ring) Insert(key ID, value any) (int, error) {
+	owner, hops, err := r.FindSuccessor(nil, key)
+	if err != nil {
+		return hops, err
+	}
+	owner.store[key] = append(owner.store[key], value)
+	if r.replicas > 0 {
+		r.replicate(key, owner.store[key])
+	}
+	return hops, nil
+}
+
+// Lookup routes to the owner of key and returns the stored values, as the
+// paper's Lookup(ID_i) primitive. It returns the hops taken.
+func (r *Ring) Lookup(key ID) ([]any, int, error) {
+	owner, hops, err := r.FindSuccessor(nil, key)
+	if err != nil {
+		return nil, hops, err
+	}
+	return append([]any(nil), owner.store[key]...), hops, nil
+}

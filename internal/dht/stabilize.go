@@ -1,0 +1,168 @@
+package dht
+
+import "fmt"
+
+// Incremental maintenance. AddNode/RemoveNode rebuild the topology exactly
+// — convenient for simulation, but a deployed Chord ring converges
+// incrementally: a node joins knowing a single introducer, and periodic
+// stabilize / notify / fix-fingers rounds repair successor and finger
+// pointers (Stoica et al., Section 5). This file implements that protocol
+// so the convergence behavior itself can be studied and tested: after a
+// lazy join, routing is temporarily degraded and becomes exact once
+// stabilization converges.
+
+// JoinLazy adds a node whose only initial knowledge is the introducer: its
+// successor comes from one routed lookup and its finger table starts out
+// pointing at that successor. No other node learns about it until
+// stabilization rounds run. The introducer must be a current member; the
+// first node of an empty ring may pass nil.
+func (r *Ring) JoinLazy(name string, introducer *Node) (*Node, error) {
+	id := r.space.HashString(name)
+	if _, exists := r.byID[id]; exists {
+		return nil, fmt.Errorf("dht: ID collision at %d (node %q)", id, name)
+	}
+	n := &Node{id: id, name: name, store: make(map[ID][]any), replicaStore: make(map[ID][]any)}
+	n.fingers = make([]*Node, r.space.Bits)
+
+	if len(r.nodes) == 0 {
+		if introducer != nil {
+			return nil, fmt.Errorf("dht: introducer given for the first node")
+		}
+		n.succ = n
+		n.pred = n
+		for k := range n.fingers {
+			n.fingers[k] = n
+		}
+	} else {
+		if introducer == nil || r.byID[introducer.id] != introducer {
+			return nil, fmt.Errorf("dht: introducer is not a current ring member")
+		}
+		succ, _, err := r.FindSuccessor(introducer, id)
+		if err != nil {
+			return nil, fmt.Errorf("dht: join lookup failed: %w", err)
+		}
+		n.succ = succ
+		n.pred = nil // learned through notify
+		for k := range n.fingers {
+			n.fingers[k] = succ
+		}
+	}
+	r.byID[id] = n
+	r.insertSorted(n)
+	return n, nil
+}
+
+// insertSorted places n into the sorted membership list without touching
+// any routing pointers.
+func (r *Ring) insertSorted(n *Node) {
+	idx := 0
+	for idx < len(r.nodes) && r.nodes[idx].id < n.id {
+		idx++
+	}
+	r.nodes = append(r.nodes, nil)
+	copy(r.nodes[idx+1:], r.nodes[idx:])
+	r.nodes[idx] = n
+}
+
+// Stabilize runs one stabilization step for n: it checks whether its
+// successor's predecessor has slipped in between, adopts it if so, and
+// notifies the successor of its own existence.
+func (r *Ring) Stabilize(n *Node) {
+	succ := n.succ
+	if succ == nil {
+		return
+	}
+	if x := succ.pred; x != nil && x != n && Between(x.id, n.id, succ.id) {
+		n.succ = x
+		succ = x
+	}
+	r.notify(succ, n)
+}
+
+// notify tells succ that n believes it is succ's predecessor.
+func (r *Ring) notify(succ, n *Node) {
+	if succ == n {
+		return
+	}
+	if succ.pred == nil || succ.pred == succ || Between(n.id, succ.pred.id, succ.id) {
+		succ.pred = n
+	}
+}
+
+// FixFinger refreshes finger k of n with a routed lookup. During
+// convergence routing may fail; the stale finger is then left in place
+// for a later round.
+func (r *Ring) FixFinger(n *Node, k uint) {
+	if k >= r.space.Bits {
+		return
+	}
+	start := r.space.Add(n.id, 1<<k)
+	owner, _, err := r.FindSuccessor(n, start)
+	if err != nil {
+		return
+	}
+	n.fingers[k] = owner
+}
+
+// StabilizeRound runs one stabilize step and a full finger refresh for
+// every node, in ascending ID order.
+func (r *Ring) StabilizeRound() {
+	for _, n := range r.liveNodes() {
+		r.Stabilize(n)
+	}
+	for _, n := range r.liveNodes() {
+		for k := uint(0); k < r.space.Bits; k++ {
+			r.FixFinger(n, k)
+		}
+	}
+	r.buildSuccessorLists()
+}
+
+// Converged reports whether every node's successor and predecessor agree
+// with the exact sorted membership.
+func (r *Ring) Converged() bool {
+	n := len(r.nodes)
+	if n == 0 {
+		return true
+	}
+	for i, node := range r.nodes {
+		if node.succ != r.nodes[(i+1)%n] {
+			return false
+		}
+		if node.pred != r.nodes[(i-1+n)%n] {
+			return false
+		}
+	}
+	return true
+}
+
+// StabilizeUntilConverged runs stabilization rounds until the topology is
+// exact or maxRounds is exhausted. It returns the number of rounds run and
+// whether convergence was reached.
+func (r *Ring) StabilizeUntilConverged(maxRounds int) (int, bool) {
+	for round := 1; round <= maxRounds; round++ {
+		r.StabilizeRound()
+		if r.Converged() {
+			return round, true
+		}
+	}
+	return maxRounds, r.Converged()
+}
+
+// RehomeKeys moves every stored key to its exact owner; lazy joins do not
+// transfer keys by themselves, so call this after convergence (the
+// deployed protocol piggybacks transfers on notify).
+func (r *Ring) RehomeKeys() {
+	for _, node := range r.nodes {
+		for k, vals := range node.store {
+			owner := r.successor(k)
+			if owner != node {
+				owner.store[k] = append(owner.store[k], vals...)
+				delete(node.store, k)
+			}
+		}
+	}
+	if r.replicas > 0 {
+		r.replicateAll()
+	}
+}

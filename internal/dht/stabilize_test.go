@@ -1,0 +1,202 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/p2psim/collusion/internal/rng"
+)
+
+func TestJoinLazyFirstNode(t *testing.T) {
+	r, _ := NewRing(16, nil)
+	n, err := r.JoinLazy("first", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Successor() != n || n.Predecessor() != n {
+		t.Fatal("single node should be its own successor and predecessor")
+	}
+	if !r.Converged() {
+		t.Fatal("single-node ring not converged")
+	}
+}
+
+func TestJoinLazyValidation(t *testing.T) {
+	r, _ := NewRing(16, nil)
+	if _, err := r.JoinLazy("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	// First-node form on a non-empty ring is rejected.
+	if _, err := r.JoinLazy("b", nil); err == nil {
+		t.Error("nil introducer accepted on non-empty ring")
+	}
+	// A foreign node is not a valid introducer.
+	other, _ := NewRing(16, nil)
+	foreign, _ := other.JoinLazy("x", nil)
+	if _, err := r.JoinLazy("c", foreign); err == nil {
+		t.Error("foreign introducer accepted")
+	}
+	// Duplicate names collide on ID.
+	first := r.Nodes()[0]
+	if _, err := r.JoinLazy("a", first); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestLazyJoinsConverge(t *testing.T) {
+	r, _ := NewRing(32, nil)
+	first, err := r.JoinLazy("node-0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 24; i++ {
+		if _, err := r.JoinLazy(fmt.Sprintf("node-%d", i), first); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Converged() {
+		t.Fatal("ring unexpectedly converged without stabilization")
+	}
+	rounds, ok := r.StabilizeUntilConverged(64)
+	if !ok {
+		t.Fatalf("no convergence after %d rounds", rounds)
+	}
+	t.Logf("converged after %d rounds", rounds)
+
+	// After convergence, routing must agree with the oracle everywhere.
+	rand := rng.New(3)
+	for i := 0; i < 200; i++ {
+		key := ID(rand.Uint64()) & r.Space().Mask()
+		want, _ := r.Owner(key)
+		got, _, err := r.FindSuccessor(r.Nodes()[rand.Intn(r.Len())], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("routing to %d reached %d, want %d", key, got.ID(), want.ID())
+		}
+	}
+}
+
+func TestInterleavedJoinsAndStabilization(t *testing.T) {
+	r, _ := NewRing(32, nil)
+	first, err := r.JoinLazy("seed", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join in small batches with a couple of stabilization rounds between
+	// batches, as a live ring would experience.
+	for batch := 0; batch < 6; batch++ {
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("n-%d-%d", batch, i)
+			// Use any current member as introducer.
+			intro := r.Nodes()[batch%r.Len()]
+			if _, err := r.JoinLazy(name, intro); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.StabilizeRound()
+		r.StabilizeRound()
+	}
+	if _, ok := r.StabilizeUntilConverged(64); !ok {
+		t.Fatal("interleaved joins did not converge")
+	}
+	_ = first
+}
+
+func TestRehomeKeysAfterLazyJoin(t *testing.T) {
+	r, _ := NewRing(32, nil)
+	first, err := r.JoinLazy("alpha", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store keys while alone: the first node owns everything.
+	keys := make([]ID, 10)
+	for i := range keys {
+		keys[i] = r.Space().HashString(fmt.Sprintf("key-%d", i))
+		if _, err := r.Insert(keys[i], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := r.JoinLazy(fmt.Sprintf("member-%d", i), first); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := r.StabilizeUntilConverged(64); !ok {
+		t.Fatal("no convergence")
+	}
+	r.RehomeKeys()
+	for i, key := range keys {
+		owner, _ := r.Owner(key)
+		vals, _, err := r.Lookup(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != 1 || vals[0] != i {
+			t.Fatalf("key %d not at its owner %d after rehoming: %v", key, owner.ID(), vals)
+		}
+	}
+}
+
+// Property: any join order converges to the exact ring within a bounded
+// number of rounds, and every key keeps exactly one owner.
+func TestQuickLazyConvergence(t *testing.T) {
+	f := func(seed uint64, count uint8) bool {
+		n := int(count)%16 + 2
+		r, err := NewRing(24, nil)
+		if err != nil {
+			return false
+		}
+		first, err := r.JoinLazy("origin", nil)
+		if err != nil {
+			return false
+		}
+		rand := rng.New(seed)
+		for i := 0; i < n; i++ {
+			intro := first
+			if r.Len() > 1 {
+				intro = r.Nodes()[rand.Intn(r.Len())]
+			}
+			// Name collisions can occur in the hashed space; skip them.
+			_, _ = r.JoinLazy(fmt.Sprintf("peer-%d-%d", seed%997, i), intro)
+		}
+		if _, ok := r.StabilizeUntilConverged(4 * r.Len()); !ok {
+			return false
+		}
+		for k := 0; k < 30; k++ {
+			key := ID(rand.Uint64()) & r.Space().Mask()
+			want, err := r.Owner(key)
+			if err != nil {
+				return false
+			}
+			got, _, err := r.FindSuccessor(r.Nodes()[rand.Intn(r.Len())], key)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStabilizeRound(b *testing.B) {
+	r, _ := NewRing(32, nil)
+	first, err := r.JoinLazy("origin", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := r.JoinLazy(fmt.Sprintf("peer-%d", i), first); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.StabilizeRound()
+	}
+}

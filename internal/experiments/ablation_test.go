@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAbStrict(t *testing.T) {
+	tab, err := AbStrict(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	var def, strict []string
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "default":
+			def = row
+		case "strict":
+			strict = row
+		}
+	}
+	// The default rule must flag both compromised pretrusted nodes; the
+	// literal rule cannot flag any.
+	if def[2] != "2" {
+		t.Fatalf("default rule flagged %s compromised nodes, want 2", def[2])
+	}
+	if strict[2] != "0" {
+		t.Fatalf("strict rule flagged %s compromised nodes, want 0", strict[2])
+	}
+	// Neither rule may flag honest nodes.
+	if def[3] != "0" || strict[3] != "0" {
+		t.Fatalf("false flags: default=%s strict=%s", def[3], strict[3])
+	}
+}
+
+func TestAbManagers(t *testing.T) {
+	tab, err := AbManagers(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if row[2] != "true" {
+			t.Fatalf("row %d: distributed result diverged from centralized: %v", i, row)
+		}
+	}
+	// A single manager needs no messages; multiple managers do.
+	if cellF(t, tab, 0, 3) != 0 {
+		t.Fatalf("single manager exchanged messages: %v", tab.Rows[0])
+	}
+	if cellF(t, tab, 4, 3) == 0 {
+		t.Fatalf("16 managers exchanged no messages: %v", tab.Rows[4])
+	}
+}
+
+func TestAbFalsePositives(t *testing.T) {
+	opts := quickOpts()
+	opts.Runs = 2
+	tab, err := AbFalsePositives(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 detectors", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[2] != "0" {
+			t.Fatalf("detector %s produced %s false positives", row[0], row[2])
+		}
+	}
+}
+
+func TestAbGroup(t *testing.T) {
+	tab, err := AbGroup(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 sizes", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		size, _ := strconv.Atoi(row[0])
+		opt, _ := strconv.Atoi(row[1])
+		grp, _ := strconv.Atoi(row[2])
+		if grp != size {
+			t.Fatalf("group detector flagged %d/%d members of ring size %d", grp, size, size)
+		}
+		if size == 2 && opt != 2 {
+			t.Fatalf("pairwise detector missed the size-2 pair: %v", row)
+		}
+		if size >= 3 && opt != 0 {
+			t.Fatalf("pairwise detector unexpectedly flagged ring of size %d: %v", size, row)
+		}
+	}
+}
+
+func TestAbThresholds(t *testing.T) {
+	opts := quickOpts()
+	opts.Runs = 1
+	tab, err := AbThresholds(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty sweep")
+	}
+	var recallAtTightTb, recallAtCalibratedTb float64
+	var latencyAtBigTN, latencyAtSmallTN float64
+	for i, row := range tab.Rows {
+		precision := cellF(t, tab, i, 2)
+		if precision != 0 && precision != 1 {
+			t.Fatalf("precision %v at %v=%v — false positives appeared", precision, row[0], row[1])
+		}
+		switch {
+		case row[0] == "Tb" && row[1] == "0.05":
+			recallAtTightTb = cellF(t, tab, i, 3)
+		case row[0] == "Tb" && row[1] == "0.7":
+			recallAtCalibratedTb = cellF(t, tab, i, 3)
+		case row[0] == "TN" && row[1] == "20":
+			latencyAtSmallTN = cellF(t, tab, i, 4)
+		case row[0] == "TN" && row[1] == "4000":
+			latencyAtBigTN = cellF(t, tab, i, 4)
+		}
+	}
+	if recallAtCalibratedTb != 1 {
+		t.Fatalf("recall at calibrated Tb = %v, want 1", recallAtCalibratedTb)
+	}
+	if recallAtTightTb >= recallAtCalibratedTb {
+		t.Fatalf("tightening Tb did not reduce recall: %v vs %v",
+			recallAtTightTb, recallAtCalibratedTb)
+	}
+	if latencyAtBigTN <= latencyAtSmallTN {
+		t.Fatalf("raising TN did not delay detection: %v vs %v",
+			latencyAtBigTN, latencyAtSmallTN)
+	}
+}
+
+func TestAbEngines(t *testing.T) {
+	opts := quickOpts()
+	opts.Runs = 1
+	tab, err := AbEngines(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10 (5 engines x 2 B values)", len(tab.Rows))
+	}
+	// EigenTrust at B=0.2 suppresses colluders below pretrusted; the flat
+	// weighted sum does not.
+	for i, row := range tab.Rows {
+		if row[1] != "0.2" {
+			continue
+		}
+		col := cellF(t, tab, i, 2)
+		pre := cellF(t, tab, i, 3)
+		switch row[0] {
+		case "eigentrust":
+			if col >= pre {
+				t.Fatalf("eigentrust B=0.2: colluders %v not below pretrusted %v", col, pre)
+			}
+		case "weighted-sum":
+			if col <= pre {
+				t.Fatalf("weighted-sum B=0.2: expected colluders %v above pretrusted %v", col, pre)
+			}
+		}
+	}
+}
+
+func TestAblationsAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ablation suite is slow")
+	}
+	opts := quickOpts()
+	opts.Runs = 1
+	tables, err := Ablations(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 12 {
+		t.Fatalf("tables = %d, want 12", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("ablation %s is empty", tab.ID)
+		}
+	}
+}
+
+func TestAbSybil(t *testing.T) {
+	tab, err := AbSybil(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 detectors", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		switch row[0] {
+		case "sybil":
+			if row[1] != "true" || row[2] != "7" || cellF(t, tab, i, 3) != 0 {
+				t.Fatalf("sybil row wrong: %v", row)
+			}
+		default:
+			if row[1] != "false" {
+				t.Fatalf("%s flagged the beneficiary: %v", row[0], row)
+			}
+		}
+	}
+	// Without the Sybil detector, the swarm manufactures real reputation.
+	if cellF(t, tab, 0, 3) <= 0.001 {
+		t.Fatalf("beneficiary not boosted under bare EigenTrust: %v", tab.Rows[0])
+	}
+}
+
+func TestAbTimeline(t *testing.T) {
+	tab, err := AbTimeline(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 20 {
+		t.Fatalf("rows = %d, want 20 cycles", len(tab.Rows))
+	}
+	// Bare colluders end high; detected colluders end at zero.
+	last := len(tab.Rows) - 1
+	if cellF(t, tab, last, 1) <= cellF(t, tab, last, 2) {
+		t.Fatalf("bare colluders %v not above pretrusted %v at the end",
+			cellF(t, tab, last, 1), cellF(t, tab, last, 2))
+	}
+	if cellF(t, tab, last, 3) > 1e-3 {
+		t.Fatalf("detected colluders end at %v, want ~0", cellF(t, tab, last, 3))
+	}
+}
+
+func TestByNameIncludesAblations(t *testing.T) {
+	for _, name := range []string{"ab-thresholds", "ab-strict", "ab-managers",
+		"ab-false-positives", "ab-group", "ab-sybil", "ab-engines", "ab-timeline",
+		"ab-scale", "ab-churn", "ab-intensity", "ab-decentralized-live"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+}
+
+func TestAbChurn(t *testing.T) {
+	tab, err := AbChurn(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (0..4 failures)", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if row[3] != "true" {
+			t.Fatalf("failure step %d diverged from centralized: %v", i, row)
+		}
+	}
+	if tab.Rows[4][1] != "2" {
+		t.Fatalf("managers after 4 failures = %s, want 2", tab.Rows[4][1])
+	}
+}
+
+func TestAbIntensity(t *testing.T) {
+	opts := quickOpts()
+	opts.Runs = 1
+	tab, err := AbIntensity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if recall := cellF(t, tab, i, 1); recall < 0.75 {
+			t.Fatalf("recall %v at intensity %s", recall, row[0])
+		}
+		if rep := cellF(t, tab, i, 3); rep > 1e-3 {
+			t.Fatalf("colluders retained reputation %v at intensity %s", rep, row[0])
+		}
+	}
+}
+
+func TestAbScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale ablation runs 400-node simulations")
+	}
+	opts := quickOpts()
+	opts.Runs = 1
+	tab, err := AbScale(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 sizes", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		et := cellF(t, tab, i, 2)
+		opt := cellF(t, tab, i, 3)
+		if et <= opt {
+			t.Fatalf("size %s: EigenTrust share %v not above detector %v", row[0], et, opt)
+		}
+		colluders := cellF(t, tab, i, 1)
+		if detected := cellF(t, tab, i, 4); detected < colluders-2 {
+			t.Fatalf("size %s: only %v/%v colluders detected", row[0], detected, colluders)
+		}
+	}
+}
+
+func TestAbDecentralizedLive(t *testing.T) {
+	opts := quickOpts()
+	opts.Runs = 1
+	opts.ColluderCounts = []int{8}
+	tab, err := AbDecentralizedLive(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tab.Rows))
+	}
+	if flagged := cellF(t, tab, 0, 1); flagged < 6 {
+		t.Fatalf("live decentralized deployment flagged only %v/8 colluders", flagged)
+	}
+	if hops := cellF(t, tab, 0, 4); hops == 0 {
+		t.Fatal("no rating-routing hops counted")
+	}
+}

@@ -1,0 +1,369 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickOpts keeps experiment tests fast: one run, reduced trace volume,
+// two colluder counts.
+func quickOpts() Options {
+	return Options{Seed: 1, Runs: 1, Scale: 0.25, ColluderCounts: []int{8, 28}}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := &Table{
+		ID:     "demo",
+		Title:  "demo table",
+		Header: []string{"a", "b"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", true)
+
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo table", "a  b", "2.5", "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if tab.String() == "" {
+		t.Fatal("String() empty")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "demo.csv")
+	if err := tab.WriteCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "a,b\n1,2.5\n") {
+		t.Fatalf("csv = %q", data)
+	}
+}
+
+func TestSaveAll(t *testing.T) {
+	tab := &Table{ID: "t1", Title: "x", Header: []string{"c"}}
+	tab.AddRow(1)
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := SaveAll(&buf, dir, tab); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "t1.csv")); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.Contains(buf.String(), "t1") {
+		t.Fatal("render output missing")
+	}
+}
+
+func cell(t *testing.T, tab *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("table %s has no cell (%d,%d); %d rows", tab.ID, row, col, len(tab.Rows))
+	}
+	return tab.Rows[row][col]
+}
+
+func cellF(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tab, row, col), 64)
+	if err != nil {
+		t.Fatalf("table %s cell (%d,%d) = %q not a float", tab.ID, row, col, cell(t, tab, row, col))
+	}
+	return v
+}
+
+func TestFig1a(t *testing.T) {
+	tab, err := Fig1a(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 50 {
+		t.Fatalf("fig1a has %d sellers, want ~97", len(tab.Rows))
+	}
+	// Sorted by descending reputation; top sellers should out-volume the
+	// bottom sellers.
+	topRep := cellF(t, tab, 0, 1)
+	botRep := cellF(t, tab, len(tab.Rows)-1, 1)
+	if topRep <= botRep {
+		t.Fatalf("not sorted: %v .. %v", topRep, botRep)
+	}
+	topTotal := cellF(t, tab, 0, 4)
+	botTotal := cellF(t, tab, len(tab.Rows)-1, 4)
+	if topTotal <= botTotal {
+		t.Fatalf("volume does not rise with reputation: %v vs %v", topTotal, botTotal)
+	}
+}
+
+func TestFig1b(t *testing.T) {
+	tab, err := Fig1b(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("fig1b empty")
+	}
+	archs := map[string]bool{}
+	for _, row := range tab.Rows {
+		archs[row[3]] = true
+	}
+	if !archs["booster"] {
+		t.Fatalf("no booster archetype in fig1b: %v", archs)
+	}
+	if !archs["rival"] {
+		t.Fatalf("no rival archetype in fig1b: %v", archs)
+	}
+}
+
+func TestFig1c(t *testing.T) {
+	tab, err := Fig1c(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("fig1c rows = %d, want 9 (5 suspicious + 4 unsuspicious)", len(tab.Rows))
+	}
+	// Suspicious sellers must show a larger max-per-rater than normal ones.
+	maxSusp, maxNorm := 0.0, 0.0
+	for i, row := range tab.Rows {
+		v := cellF(t, tab, i, 4)
+		if row[2] == "true" {
+			if v > maxSusp {
+				maxSusp = v
+			}
+		} else if v > maxNorm {
+			maxNorm = v
+		}
+	}
+	if maxSusp <= maxNorm {
+		t.Fatalf("suspicious max %v not above normal max %v", maxSusp, maxNorm)
+	}
+}
+
+func TestFig1d(t *testing.T) {
+	tab, err := Fig1d(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := map[string]string{}
+	for _, row := range tab.Rows {
+		if row[0] != "edge" {
+			metrics[row[0]] = row[1]
+		}
+	}
+	if metrics["closed_groups"] != "0" || metrics["triangles"] != "0" {
+		t.Fatalf("C5 violated: %v", metrics)
+	}
+	pairs, _ := strconv.Atoi(metrics["isolated_pairs"])
+	if pairs < 5 {
+		t.Fatalf("isolated pairs = %d, want several", pairs)
+	}
+	chains, _ := strconv.Atoi(metrics["open_chains"])
+	if chains < 1 {
+		t.Fatalf("open chains = %d, want >= 1", chains)
+	}
+}
+
+func TestFig4(t *testing.T) {
+	tab, err := Fig4(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("fig4 empty")
+	}
+	for i := range tab.Rows {
+		lo, hi := cellF(t, tab, i, 2), cellF(t, tab, i, 3)
+		if lo > hi {
+			t.Fatalf("row %d: lower %v above upper %v", i, lo, hi)
+		}
+	}
+}
+
+// groupMean extracts a "mean <role>" summary row value.
+func groupMean(t *testing.T, tab *Table, role string) float64 {
+	t.Helper()
+	for i, row := range tab.Rows {
+		if row[0] == "mean" && row[1] == role {
+			return cellF(t, tab, i, 2)
+		}
+	}
+	t.Fatalf("table %s has no mean row for %s", tab.ID, role)
+	return 0
+}
+
+func TestFig5Shape(t *testing.T) {
+	tab, err := Fig5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col, pre := groupMean(t, tab, "colluder"), groupMean(t, tab, "pretrusted"); col <= pre {
+		t.Fatalf("colluder mean %v not above pretrusted %v", col, pre)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tab, err := Fig6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col, pre := groupMean(t, tab, "colluder"), groupMean(t, tab, "pretrusted"); col >= pre/5 {
+		t.Fatalf("colluder mean %v not suppressed below pretrusted %v", col, pre)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tab, err := Fig8(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 8 rows are colluders: reputation 0 and flag rate 1 under both
+	// methods.
+	for i := 0; i < 8; i++ {
+		if cellF(t, tab, i, 2) != 0 || cellF(t, tab, i, 3) != 0 {
+			t.Fatalf("colluder row %d not zeroed: %v", i, tab.Rows[i])
+		}
+		if cellF(t, tab, i, 4) != 1 || cellF(t, tab, i, 5) != 1 {
+			t.Fatalf("colluder row %d not always flagged: %v", i, tab.Rows[i])
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab, err := Fig10(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col := groupMean(t, tab, "colluder"); col > 1e-3 {
+		t.Fatalf("colluder mean %v, want ~0", col)
+	}
+	if pre, norm := groupMean(t, tab, "pretrusted"), groupMean(t, tab, "normal"); pre <= norm {
+		t.Fatalf("pretrusted mean %v not above normal %v", pre, norm)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	tab, err := Fig12(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (quick counts)", len(tab.Rows))
+	}
+	// At the larger colluder count, EigenTrust's share must exceed both
+	// detectors'.
+	last := len(tab.Rows) - 1
+	et := cellF(t, tab, last, 1)
+	unopt := cellF(t, tab, last, 2)
+	opt := cellF(t, tab, last, 3)
+	if et <= unopt || et <= opt {
+		t.Fatalf("EigenTrust share %v not above detectors (%v, %v)", et, unopt, opt)
+	}
+	// EigenTrust share grows with colluder count.
+	if cellF(t, tab, 0, 1) >= et {
+		t.Fatalf("EigenTrust share did not grow: %v -> %v", cellF(t, tab, 0, 1), et)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	tab, err := Fig13(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		et := cellF(t, tab, i, 1)
+		unopt := cellF(t, tab, i, 2)
+		opt := cellF(t, tab, i, 3)
+		if !(unopt > et && et > opt) {
+			t.Fatalf("row %d cost ordering violated: unopt=%v et=%v opt=%v", i, unopt, et, opt)
+		}
+	}
+	// EigenTrust cost roughly flat in colluder count (within 2x); the
+	// unoptimized cost grows.
+	et0 := cellF(t, tab, 0, 1)
+	etN := cellF(t, tab, len(tab.Rows)-1, 1)
+	if etN > 2*et0 || et0 > 2*etN {
+		t.Fatalf("EigenTrust cost not flat: %v -> %v", et0, etN)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("fig5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestOptionsNormalized(t *testing.T) {
+	o := Options{}.normalized()
+	if o.Runs != 1 || o.Scale != 1.0 || o.Seed != 1 {
+		t.Fatalf("normalized = %+v", o)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tab, err := Fig7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The compromised pretrusted nodes' direct partners (rows 4 and 6,
+	// 1-based) must exceed the honest pretrusted node (row 3).
+	honestPre := cellF(t, tab, 2, 2)
+	if cellF(t, tab, 3, 2) <= honestPre && cellF(t, tab, 5, 2) <= honestPre {
+		t.Fatalf("no boosted colluder above honest pretrusted %v", honestPre)
+	}
+	// Tail colluders (rows 8-11) starve.
+	for i := 7; i <= 10; i++ {
+		if cellF(t, tab, i, 2) > honestPre {
+			t.Fatalf("tail colluder row %d unexpectedly high: %v", i, tab.Rows[i])
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tab, err := Fig9(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col := groupMean(t, tab, "colluder"); col > 1e-3 {
+		t.Fatalf("colluder mean %v, want ~0", col)
+	}
+	// All colluder rows flagged in every run.
+	for i := 3; i <= 10; i++ {
+		if cellF(t, tab, i, 3) < 0.5 {
+			t.Fatalf("colluder row %d flag rate %v", i, cellF(t, tab, i, 3))
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tab, err := Fig11(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compromised pretrusted rows 1-2 at zero with flag rate 1; honest
+	// pretrusted row 3 keeps a high reputation.
+	for i := 0; i <= 1; i++ {
+		if cellF(t, tab, i, 2) != 0 || cellF(t, tab, i, 3) != 1 {
+			t.Fatalf("compromised row %d not zeroed/flagged: %v", i, tab.Rows[i])
+		}
+	}
+	if honest := cellF(t, tab, 2, 2); honest < 10*groupMean(t, tab, "normal") {
+		t.Fatalf("honest pretrusted %v not well above normal mean", honest)
+	}
+}

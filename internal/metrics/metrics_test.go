@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var m CostMeter
+	if got := m.Get("anything"); got != 0 {
+		t.Fatalf("fresh counter = %d, want 0", got)
+	}
+	m.Inc("a")
+	if got := m.Get("a"); got != 1 {
+		t.Fatalf("after Inc, a = %d, want 1", got)
+	}
+}
+
+func TestAddAndTotal(t *testing.T) {
+	var m CostMeter
+	m.Add("x", 5)
+	m.Add("y", 7)
+	m.Add("x", 3)
+	if got := m.Get("x"); got != 8 {
+		t.Fatalf("x = %d, want 8", got)
+	}
+	if got := m.Total(); got != 15 {
+		t.Fatalf("Total = %d, want 15", got)
+	}
+}
+
+func TestNegativeAdd(t *testing.T) {
+	var m CostMeter
+	m.Add("x", 10)
+	m.Add("x", -4)
+	if got := m.Get("x"); got != 6 {
+		t.Fatalf("x = %d, want 6", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var m CostMeter
+	m.Add("x", 3)
+	m.Add("y", 4)
+	m.Reset()
+	if got := m.Total(); got != 0 {
+		t.Fatalf("Total after Reset = %d, want 0", got)
+	}
+	// Names must survive Reset so Snapshot still reports them.
+	snap := m.Snapshot()
+	if _, ok := snap["x"]; !ok {
+		t.Fatal("counter name lost after Reset")
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	var m CostMeter
+	m.Add("x", 1)
+	snap := m.Snapshot()
+	snap["x"] = 999
+	if got := m.Get("x"); got != 1 {
+		t.Fatalf("mutating snapshot changed meter: x = %d", got)
+	}
+}
+
+func TestStringSortedOutput(t *testing.T) {
+	var m CostMeter
+	m.Add("beta", 2)
+	m.Add("alpha", 1)
+	s := m.String()
+	if !strings.Contains(s, "alpha=1") || !strings.Contains(s, "beta=2") {
+		t.Fatalf("String() = %q missing counters", s)
+	}
+	if strings.Index(s, "alpha") > strings.Index(s, "beta") {
+		t.Fatalf("String() not sorted: %q", s)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	var m CostMeter
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.Inc("shared")
+				m.Add("other", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Get("shared"); got != workers*perWorker {
+		t.Fatalf("shared = %d, want %d", got, workers*perWorker)
+	}
+	if got := m.Get("other"); got != 2*workers*perWorker {
+		t.Fatalf("other = %d, want %d", got, 2*workers*perWorker)
+	}
+}
+
+func BenchmarkInc(b *testing.B) {
+	var m CostMeter
+	for i := 0; i < b.N; i++ {
+		m.Inc(CostBoundCheck)
+	}
+}
+
+func BenchmarkIncParallel(b *testing.B) {
+	var m CostMeter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Inc(CostMatrixScan)
+		}
+	})
+}

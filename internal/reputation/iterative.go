@@ -1,0 +1,107 @@
+package reputation
+
+import "github.com/p2psim/collusion/internal/metrics"
+
+// IterativeWeighted is the EigenTrust-style scoring the paper's Section V
+// evaluation describes: R = Σ_j w1·r_j + Σ_p w2·r_p with w2 > w1, where "a
+// node with higher reputation has higher w1" — i.e. the weight of a
+// rater's feedback depends on the rater's own current reputation, updated
+// once per simulation cycle.
+//
+// Concretely, at each update a rater's ratings are weighed:
+//
+//   - WPretrusted (paper: 0.5) for pretrusted peers;
+//   - WNormal (paper: 0.2) for peers whose reputation from the previous
+//     update is at least TrustThreshold (the paper's reputation threshold,
+//     0.05 on the normalized scale);
+//   - WDistrusted (a small residual) for peers currently below it.
+//
+// Scores are normalized to a distribution after every update, matching the
+// scale of the paper's Figures 5-11, and the normalized scores feed the
+// next update's weights. This closed loop is what lets the system suppress
+// colluders whose service is poor: bad service drags their reputation
+// below the threshold, which in turn discounts the very ratings they use
+// to prop each other up.
+//
+// The engine is stateful across calls (it remembers the previous scores);
+// create a fresh instance per simulation run.
+type IterativeWeighted struct {
+	// Pretrusted lists node indices whose ratings carry WPretrusted.
+	Pretrusted []int
+	// WNormal is the weight of trustworthy raters (paper: 0.2).
+	WNormal float64
+	// WPretrusted is the weight of pretrusted raters (paper: 0.5).
+	WPretrusted float64
+	// WDistrusted is the residual weight of raters currently below the
+	// trust threshold.
+	WDistrusted float64
+	// TrustThreshold is the normalized-reputation threshold T_R above
+	// which a rater counts as trustworthy (paper: 0.05).
+	TrustThreshold float64
+	// Meter, if non-nil, is charged one metrics.CostEigenMulAdd per
+	// matrix multiply-add of each update.
+	Meter *metrics.CostMeter
+
+	prev []float64 // previous normalized scores
+}
+
+// NewIterativeWeighted returns the engine with the paper's parameters:
+// w1 = 0.2, w2 = 0.5, T_R = 0.05, and a distrust residual of w1/4.
+func NewIterativeWeighted(pretrusted []int) *IterativeWeighted {
+	return &IterativeWeighted{
+		Pretrusted:     pretrusted,
+		WNormal:        0.2,
+		WPretrusted:    0.5,
+		WDistrusted:    0.05,
+		TrustThreshold: 0.05,
+	}
+}
+
+// Name implements Engine.
+func (e *IterativeWeighted) Name() string { return "iterative-weighted" }
+
+// Reset clears the remembered scores so the engine can drive a new run.
+func (e *IterativeWeighted) Reset() { e.prev = nil }
+
+// Scores implements Engine. It computes one weighted-sum update from the
+// cumulative ledger using the previous update's normalized scores to
+// assign rater weights, then normalizes.
+func (e *IterativeWeighted) Scores(l *Ledger) []float64 {
+	n := l.Size()
+	pre := make([]bool, n)
+	for _, p := range e.Pretrusted {
+		if p >= 0 && p < n {
+			pre[p] = true
+		}
+	}
+	weight := make([]float64, n)
+	for j := 0; j < n; j++ {
+		switch {
+		case pre[j]:
+			weight[j] = e.WPretrusted
+		case e.prev != nil && j < len(e.prev) && e.prev[j] >= e.TrustThreshold:
+			weight[j] = e.WNormal
+		default:
+			weight[j] = e.WDistrusted
+		}
+	}
+	raw := make([]float64, n)
+	for target := 0; target < n; target++ {
+		sum := 0.0
+		for rater := 0; rater < n; rater++ {
+			if rater == target {
+				continue
+			}
+			if d := l.LocalTrust(rater, target); d != 0 {
+				sum += weight[rater] * float64(d)
+			}
+		}
+		raw[target] = sum
+	}
+	if e.Meter != nil {
+		e.Meter.Add(metrics.CostEigenMulAdd, int64(n)*int64(n))
+	}
+	scores := Normalize(raw)
+	e.prev = scores
+	return scores
+}

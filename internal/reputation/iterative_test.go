@@ -1,0 +1,103 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+
+	"github.com/p2psim/collusion/internal/metrics"
+)
+
+func TestIterativeWeightedFirstUpdateUsesResidualWeights(t *testing.T) {
+	l := NewLedger(4)
+	l.Record(0, 2, 1) // pretrusted rater
+	l.Record(1, 2, 1) // unknown rater: residual weight on first update
+	e := NewIterativeWeighted([]int{0})
+	scores := e.Scores(l)
+	// Raw: node 2 gets 0.5 (pretrusted) + 0.05 (residual) = 0.55; it is
+	// the only positive node, so it normalizes to 1.
+	if math.Abs(scores[2]-1) > 1e-12 {
+		t.Fatalf("scores = %v", scores)
+	}
+}
+
+func TestIterativeWeightedPromotesTrustworthyRaters(t *testing.T) {
+	l := NewLedger(4)
+	l.Record(0, 1, 1) // pretrusted vouches for node 1
+	e := NewIterativeWeighted([]int{0})
+	first := e.Scores(l)
+	if first[1] < e.TrustThreshold {
+		t.Fatalf("node 1 not trusted after first update: %v", first)
+	}
+	// Now node 1 rates node 2: on the second update its weight must be
+	// WNormal, not the residual.
+	l.Record(1, 2, 1)
+	second := e.Scores(l)
+	// Raw: node1 = 0.5, node2 = 0.2 → normalized 0.5/0.7 and 0.2/0.7.
+	if math.Abs(second[2]-0.2/0.7) > 1e-9 {
+		t.Fatalf("node 2 score = %v, want %v", second[2], 0.2/0.7)
+	}
+}
+
+func TestIterativeWeightedDemotesDistrustedRaters(t *testing.T) {
+	const n = 8
+	l := NewLedger(n)
+	// Node 1 is heavily negatively rated: its own ratings should carry
+	// only the residual weight on the next update.
+	l.Record(0, 2, 1) // establish some positive mass elsewhere
+	for k := 0; k < 20; k++ {
+		l.Record(3+k%5, 1, -1)
+	}
+	e := NewIterativeWeighted([]int{0})
+	e.Scores(l)
+	l.Record(1, 4, 1)
+	scores := e.Scores(l)
+	// Node 4's only rater is distrusted node 1: raw 0.05; node 2's rater
+	// is pretrusted: raw 0.5. Ratio after normalization must be 10x.
+	if scores[4] <= 0 || math.Abs(scores[2]/scores[4]-10) > 1e-6 {
+		t.Fatalf("scores = %v, want node2/node4 = 10", scores)
+	}
+}
+
+func TestIterativeWeightedReset(t *testing.T) {
+	l := NewLedger(3)
+	l.Record(0, 1, 1)
+	e := NewIterativeWeighted([]int{0})
+	a := e.Scores(l)
+	e.Reset()
+	b := e.Scores(l)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Reset did not restore initial state: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestIterativeWeightedNormalizedOutput(t *testing.T) {
+	l := NewLedger(6)
+	for k := 0; k < 30; k++ {
+		l.Record(k%6, (k+1)%6, 1)
+	}
+	e := NewIterativeWeighted([]int{0})
+	if err := CheckDistribution(e.Scores(l), 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterativeWeightedCostAccounting(t *testing.T) {
+	var meter metrics.CostMeter
+	l := NewLedger(5)
+	l.Record(0, 1, 1)
+	e := NewIterativeWeighted([]int{0})
+	e.Meter = &meter
+	e.Scores(l)
+	e.Scores(l)
+	if got := meter.Get(metrics.CostEigenMulAdd); got != 2*25 {
+		t.Fatalf("cost = %d, want 50 (2 updates x n^2)", got)
+	}
+}
+
+func TestIterativeWeightedName(t *testing.T) {
+	if NewIterativeWeighted(nil).Name() != "iterative-weighted" {
+		t.Fatal("wrong engine name")
+	}
+}

@@ -1,0 +1,192 @@
+// Package reputation implements the rating ledger and the reputation
+// engines the paper builds on: the eBay/Amazon-style summation score used
+// to derive the optimized detector's Formula (1), the weighted-sum scoring
+// the paper describes in Section V (normal raters weighted w1=0.2,
+// pretrusted raters w2=0.5), and the full EigenTrust algorithm (normalized
+// local trust, pretrust vector, damped power iteration) from the paper's
+// reference [9].
+package reputation
+
+import (
+	"fmt"
+)
+
+// Ledger accumulates the ratings of one global-reputation period T for a
+// fixed population of n nodes (indices 0..n-1).
+//
+// Index convention (matching the paper's rating matrix in Section IV-B):
+// the first index is the *target* (the rated node n_i) and the second is
+// the *rater* (n_j). So PairTotal(i, j) is the paper's N_(i,j): the number
+// of ratings n_i received from n_j during T.
+//
+// Ledger is not safe for concurrent mutation; the simulation engine is
+// deterministic and single-threaded by design.
+type Ledger struct {
+	n     int
+	total []int32 // [target*n+rater] all ratings
+	pos   []int32 // [target*n+rater] positive ratings
+	neg   []int32 // [target*n+rater] negative ratings
+
+	recvTotal []int64 // N_i per target
+	recvPos   []int64
+	recvNeg   []int64
+	sentTotal []int64 // outgoing ratings per rater
+}
+
+// NewLedger creates an empty ledger for n nodes. It panics if n <= 0.
+func NewLedger(n int) *Ledger {
+	if n <= 0 {
+		panic(fmt.Sprintf("reputation: NewLedger(%d), want n > 0", n))
+	}
+	return &Ledger{
+		n:         n,
+		total:     make([]int32, n*n),
+		pos:       make([]int32, n*n),
+		neg:       make([]int32, n*n),
+		recvTotal: make([]int64, n),
+		recvPos:   make([]int64, n),
+		recvNeg:   make([]int64, n),
+		sentTotal: make([]int64, n),
+	}
+}
+
+// Size returns the node population the ledger covers.
+func (l *Ledger) Size() int { return l.n }
+
+// Record stores one rating of polarity -1, 0 or +1 from rater about target.
+// It panics on out-of-range indices, self-ratings, or invalid polarity,
+// because those are programming errors in the caller, not data conditions.
+func (l *Ledger) Record(rater, target, polarity int) {
+	if rater < 0 || rater >= l.n || target < 0 || target >= l.n {
+		panic(fmt.Sprintf("reputation: Record(%d, %d) out of range [0,%d)", rater, target, l.n))
+	}
+	if rater == target {
+		panic(fmt.Sprintf("reputation: node %d rated itself", rater))
+	}
+	if polarity < -1 || polarity > 1 {
+		panic(fmt.Sprintf("reputation: polarity %d, want -1, 0 or 1", polarity))
+	}
+	idx := target*l.n + rater
+	l.total[idx]++
+	l.recvTotal[target]++
+	l.sentTotal[rater]++
+	switch polarity {
+	case 1:
+		l.pos[idx]++
+		l.recvPos[target]++
+	case -1:
+		l.neg[idx]++
+		l.recvNeg[target]++
+	}
+}
+
+// Reset clears the ledger for a new period T.
+func (l *Ledger) Reset() {
+	clearInt32(l.total)
+	clearInt32(l.pos)
+	clearInt32(l.neg)
+	clearInt64(l.recvTotal)
+	clearInt64(l.recvPos)
+	clearInt64(l.recvNeg)
+	clearInt64(l.sentTotal)
+}
+
+func clearInt32(xs []int32) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+func clearInt64(xs []int64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+// TotalFor returns N_i: all ratings target received in T.
+func (l *Ledger) TotalFor(target int) int { return int(l.recvTotal[target]) }
+
+// PositiveFor returns N+_i: positive ratings target received in T.
+func (l *Ledger) PositiveFor(target int) int { return int(l.recvPos[target]) }
+
+// NegativeFor returns N-_i: negative ratings target received in T.
+func (l *Ledger) NegativeFor(target int) int { return int(l.recvNeg[target]) }
+
+// OutgoingTotal returns the number of ratings rater issued in T, across
+// all targets. The Sybil detector uses it to measure a rater's
+// concentration on one beneficiary.
+func (l *Ledger) OutgoingTotal(rater int) int { return int(l.sentTotal[rater]) }
+
+// PairTotal returns N_(i,j): ratings target i received from rater j.
+func (l *Ledger) PairTotal(target, rater int) int {
+	return int(l.total[target*l.n+rater])
+}
+
+// PairPositive returns N+_(i,j).
+func (l *Ledger) PairPositive(target, rater int) int {
+	return int(l.pos[target*l.n+rater])
+}
+
+// PairNegative returns N-_(i,j).
+func (l *Ledger) PairNegative(target, rater int) int {
+	return int(l.neg[target*l.n+rater])
+}
+
+// OthersTotal returns N_(i,-j): ratings target i received from everyone
+// except rater j.
+func (l *Ledger) OthersTotal(target, rater int) int {
+	return int(l.recvTotal[target]) - l.PairTotal(target, rater)
+}
+
+// OthersPositive returns N+_(i,-j).
+func (l *Ledger) OthersPositive(target, rater int) int {
+	return int(l.recvPos[target]) - l.PairPositive(target, rater)
+}
+
+// SummationScore returns the eBay-style reputation of target: the sum of
+// all received rating values (positives minus negatives), as defined in
+// Section IV-A.
+func (l *Ledger) SummationScore(target int) int {
+	return int(l.recvPos[target] - l.recvNeg[target])
+}
+
+// LocalTrust returns s_ij, rater i's satisfaction with node j: positive
+// minus negative ratings i gave j. This is the EigenTrust local trust
+// input before normalization.
+func (l *Ledger) LocalTrust(rater, target int) int {
+	idx := target*l.n + rater
+	return int(l.pos[idx] - l.neg[idx])
+}
+
+// Clone returns a deep copy of the ledger.
+func (l *Ledger) Clone() *Ledger {
+	c := NewLedger(l.n)
+	copy(c.total, l.total)
+	copy(c.pos, l.pos)
+	copy(c.neg, l.neg)
+	copy(c.recvTotal, l.recvTotal)
+	copy(c.recvPos, l.recvPos)
+	copy(c.recvNeg, l.recvNeg)
+	copy(c.sentTotal, l.sentTotal)
+	return c
+}
+
+// Merge adds every count of other into l. Both ledgers must cover the same
+// population.
+func (l *Ledger) Merge(other *Ledger) error {
+	if other.n != l.n {
+		return fmt.Errorf("reputation: merging ledger of size %d into size %d", other.n, l.n)
+	}
+	for i := range l.total {
+		l.total[i] += other.total[i]
+		l.pos[i] += other.pos[i]
+		l.neg[i] += other.neg[i]
+	}
+	for i := 0; i < l.n; i++ {
+		l.recvTotal[i] += other.recvTotal[i]
+		l.recvPos[i] += other.recvPos[i]
+		l.recvNeg[i] += other.recvNeg[i]
+		l.sentTotal[i] += other.sentTotal[i]
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package reputation
+
+import (
+	"math"
+
+	"github.com/p2psim/collusion/internal/metrics"
+)
+
+// SimilarityWeighted implements the feedback-credibility idea of PeerTrust
+// and TrustGuard (the paper's references [26] and [21], its related-work
+// group of collusion mitigations): a rater's feedback is weighed by how
+// well its opinions agree with everyone else's. For each rater v the
+// engine compares v's per-target positive shares against the consensus
+// (all-rater) shares over the targets v actually rated, converts the
+// root-mean-square deviation into a credibility weight
+//
+//	Cr(v) = 1 − RMSD(v, consensus) ∈ [0, 1],
+//
+// and scores each node as the credibility-weighted sum of its received
+// ratings, normalized to a distribution.
+//
+// Collusion is dampened because boosters systematically deviate from
+// consensus on their beneficiaries (they rate 1.0 where the crowd rates
+// low), which costs them credibility — but it is a mitigation, not a
+// detection: the colluders are discounted, never identified. The engine
+// exists as a comparison baseline for the ablation study.
+type SimilarityWeighted struct {
+	// MinOverlap is the minimum number of rated targets before a rater's
+	// similarity is trusted; raters below it get NeutralCredibility.
+	// The zero value selects 2.
+	MinOverlap int
+	// NeutralCredibility is the weight for raters with too little history
+	// to compare. The zero value selects 0.5.
+	NeutralCredibility float64
+	// Meter, if non-nil, is charged one metrics.CostEigenMulAdd per
+	// matrix element visited.
+	Meter *metrics.CostMeter
+}
+
+// NewSimilarityWeighted returns the engine with default parameters.
+func NewSimilarityWeighted() *SimilarityWeighted {
+	return &SimilarityWeighted{}
+}
+
+// Name implements Engine.
+func (e *SimilarityWeighted) Name() string { return "similarity-weighted" }
+
+func (e *SimilarityWeighted) params() (minOverlap int, neutral float64) {
+	minOverlap = e.MinOverlap
+	if minOverlap == 0 {
+		minOverlap = 2
+	}
+	neutral = e.NeutralCredibility
+	if neutral == 0 {
+		neutral = 0.5
+	}
+	return minOverlap, neutral
+}
+
+// Scores implements Engine.
+func (e *SimilarityWeighted) Scores(l *Ledger) []float64 {
+	n := l.Size()
+	minOverlap, neutral := e.params()
+
+	// Consensus positive share per target.
+	consensus := make([]float64, n)
+	hasConsensus := make([]bool, n)
+	for target := 0; target < n; target++ {
+		if total := l.TotalFor(target); total > 0 {
+			consensus[target] = float64(l.PositiveFor(target)) / float64(total)
+			hasConsensus[target] = true
+		}
+	}
+
+	// Credibility per rater from deviation against consensus.
+	credibility := make([]float64, n)
+	for rater := 0; rater < n; rater++ {
+		sumSq := 0.0
+		overlap := 0
+		for target := 0; target < n; target++ {
+			if target == rater || !hasConsensus[target] {
+				continue
+			}
+			cnt := l.PairTotal(target, rater)
+			if cnt == 0 {
+				continue
+			}
+			share := float64(l.PairPositive(target, rater)) / float64(cnt)
+			d := share - consensus[target]
+			sumSq += d * d
+			overlap++
+		}
+		if e.Meter != nil {
+			e.Meter.Add(metrics.CostEigenMulAdd, int64(n))
+		}
+		if overlap < minOverlap {
+			credibility[rater] = neutral
+			continue
+		}
+		credibility[rater] = 1 - math.Sqrt(sumSq/float64(overlap))
+		if credibility[rater] < 0 {
+			credibility[rater] = 0
+		}
+	}
+
+	// Credibility-weighted summation.
+	raw := make([]float64, n)
+	for target := 0; target < n; target++ {
+		sum := 0.0
+		for rater := 0; rater < n; rater++ {
+			if rater == target {
+				continue
+			}
+			if d := l.LocalTrust(rater, target); d != 0 {
+				sum += credibility[rater] * float64(d)
+			}
+		}
+		raw[target] = sum
+	}
+	if e.Meter != nil {
+		e.Meter.Add(metrics.CostEigenMulAdd, int64(n)*int64(n))
+	}
+	return Normalize(raw)
+}
+
+// Credibilities exposes the per-rater credibility weights for one ledger,
+// for diagnostics and tests.
+func (e *SimilarityWeighted) Credibilities(l *Ledger) []float64 {
+	n := l.Size()
+	minOverlap, neutral := e.params()
+	consensus := make([]float64, n)
+	hasConsensus := make([]bool, n)
+	for target := 0; target < n; target++ {
+		if total := l.TotalFor(target); total > 0 {
+			consensus[target] = float64(l.PositiveFor(target)) / float64(total)
+			hasConsensus[target] = true
+		}
+	}
+	out := make([]float64, n)
+	for rater := 0; rater < n; rater++ {
+		sumSq := 0.0
+		overlap := 0
+		for target := 0; target < n; target++ {
+			if target == rater || !hasConsensus[target] {
+				continue
+			}
+			cnt := l.PairTotal(target, rater)
+			if cnt == 0 {
+				continue
+			}
+			share := float64(l.PairPositive(target, rater)) / float64(cnt)
+			d := share - consensus[target]
+			sumSq += d * d
+			overlap++
+		}
+		if overlap < minOverlap {
+			out[rater] = neutral
+			continue
+		}
+		out[rater] = 1 - math.Sqrt(sumSq/float64(overlap))
+		if out[rater] < 0 {
+			out[rater] = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package reputation
+
+import "fmt"
+
+// WindowedLedger maintains per-period rating ledgers and exposes a merged
+// view of the most recent periods. The paper's detection statistics are
+// all defined over "the time period T for updating global reputations"
+// (Table I); a cumulative ledger approximates T as the whole run, while a
+// windowed ledger gives the literal sliding-window semantics: ratings
+// older than the window no longer count toward N_i, N_(i,j) or the
+// summation reputation, so a pair that stops colluding eventually stops
+// matching the collusion model.
+type WindowedLedger struct {
+	n       int
+	window  int
+	periods []*Ledger // ring buffer; periods[head] is the current period
+	head    int
+	filled  int
+}
+
+// NewWindowedLedger creates a windowed ledger for n nodes keeping the
+// current period plus window-1 past periods. It panics if n <= 0 or
+// window <= 0, mirroring NewLedger.
+func NewWindowedLedger(n, window int) *WindowedLedger {
+	if n <= 0 {
+		panic(fmt.Sprintf("reputation: NewWindowedLedger(n=%d), want n > 0", n))
+	}
+	if window <= 0 {
+		panic(fmt.Sprintf("reputation: NewWindowedLedger(window=%d), want window > 0", window))
+	}
+	w := &WindowedLedger{n: n, window: window, periods: make([]*Ledger, window)}
+	w.periods[0] = NewLedger(n)
+	w.filled = 1
+	return w
+}
+
+// Size returns the node population.
+func (w *WindowedLedger) Size() int { return w.n }
+
+// WindowLength returns the number of periods the window spans.
+func (w *WindowedLedger) WindowLength() int { return w.window }
+
+// Periods returns how many periods currently hold data (1..window).
+func (w *WindowedLedger) Periods() int { return w.filled }
+
+// Record stores a rating in the current period.
+func (w *WindowedLedger) Record(rater, target, polarity int) {
+	w.periods[w.head].Record(rater, target, polarity)
+}
+
+// Advance closes the current period and opens a new one, evicting the
+// oldest period once the window is full.
+func (w *WindowedLedger) Advance() {
+	w.head = (w.head + 1) % w.window
+	if w.periods[w.head] == nil {
+		w.periods[w.head] = NewLedger(w.n)
+		w.filled++
+		return
+	}
+	// Reuse the evicted period's storage.
+	w.periods[w.head].Reset()
+}
+
+// Current returns the ledger of the open period (live view, not a copy).
+func (w *WindowedLedger) Current() *Ledger { return w.periods[w.head] }
+
+// Window returns a merged ledger over every period in the window. The
+// result is a fresh copy safe to retain.
+func (w *WindowedLedger) Window() *Ledger {
+	merged := NewLedger(w.n)
+	for _, p := range w.periods {
+		if p == nil {
+			continue
+		}
+		// Merge cannot fail: all periods share the population size.
+		if err := merged.Merge(p); err != nil {
+			panic("reputation: " + err.Error())
+		}
+	}
+	return merged
+}
+
+// Reset clears every period.
+func (w *WindowedLedger) Reset() {
+	for _, p := range w.periods {
+		if p != nil {
+			p.Reset()
+		}
+	}
+}

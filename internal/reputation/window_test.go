@@ -1,0 +1,163 @@
+package reputation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowedLedgerPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewWindowedLedger(0, 3) },
+		func() { NewWindowedLedger(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid construction did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWindowedLedgerBasics(t *testing.T) {
+	w := NewWindowedLedger(4, 3)
+	if w.Size() != 4 || w.WindowLength() != 3 || w.Periods() != 1 {
+		t.Fatalf("fresh ledger: size=%d window=%d periods=%d", w.Size(), w.WindowLength(), w.Periods())
+	}
+	w.Record(0, 1, 1)
+	if got := w.Window().TotalFor(1); got != 1 {
+		t.Fatalf("window total = %d, want 1", got)
+	}
+	if got := w.Current().TotalFor(1); got != 1 {
+		t.Fatalf("current total = %d, want 1", got)
+	}
+}
+
+func TestWindowedLedgerEviction(t *testing.T) {
+	w := NewWindowedLedger(4, 2) // current + 1 past period
+	w.Record(0, 1, 1)            // period 1
+	w.Advance()
+	w.Record(2, 1, 1) // period 2
+	if got := w.Window().TotalFor(1); got != 2 {
+		t.Fatalf("window holds %d ratings, want 2 (both periods in window)", got)
+	}
+	w.Advance() // period 3: period 1 evicted
+	if got := w.Window().TotalFor(1); got != 1 {
+		t.Fatalf("window holds %d ratings, want 1 after eviction", got)
+	}
+	if got := w.Window().PairTotal(1, 0); got != 0 {
+		t.Fatalf("evicted pair count = %d, want 0", got)
+	}
+	if got := w.Window().PairTotal(1, 2); got != 1 {
+		t.Fatalf("retained pair count = %d, want 1", got)
+	}
+	w.Advance() // period 4: period 2 evicted too
+	if got := w.Window().TotalFor(1); got != 0 {
+		t.Fatalf("window holds %d ratings, want 0", got)
+	}
+}
+
+func TestWindowedLedgerPeriodsCap(t *testing.T) {
+	w := NewWindowedLedger(3, 3)
+	for i := 0; i < 10; i++ {
+		w.Advance()
+	}
+	if w.Periods() != 3 {
+		t.Fatalf("periods = %d, want capped at 3", w.Periods())
+	}
+}
+
+func TestWindowedLedgerReset(t *testing.T) {
+	w := NewWindowedLedger(3, 2)
+	w.Record(0, 1, 1)
+	w.Advance()
+	w.Record(2, 1, -1)
+	w.Reset()
+	if got := w.Window().TotalFor(1); got != 0 {
+		t.Fatalf("after Reset window total = %d", got)
+	}
+}
+
+func TestWindowedLedgerIsCopy(t *testing.T) {
+	w := NewWindowedLedger(3, 2)
+	w.Record(0, 1, 1)
+	snapshot := w.Window()
+	w.Record(2, 1, 1)
+	if snapshot.TotalFor(1) != 1 {
+		t.Fatal("Window() snapshot mutated by later recording")
+	}
+}
+
+// Property: with a window of W periods, the merged view always equals the
+// sum of the last W periods' recordings exactly.
+func TestQuickWindowMatchesManualSum(t *testing.T) {
+	f := func(events []uint16, advances uint8) bool {
+		const n, window = 5, 3
+		w := NewWindowedLedger(n, window)
+		// Manual shadow: slice of per-period ledgers.
+		var shadow []*Ledger
+		shadow = append(shadow, NewLedger(n))
+		step := 0
+		for _, e := range events {
+			if int(advances) > 0 && step%(int(advances)+1) == int(advances) {
+				w.Advance()
+				shadow = append(shadow, NewLedger(n))
+			}
+			step++
+			rater := int(e) % n
+			target := int(e>>3) % n
+			if rater == target {
+				continue
+			}
+			pol := int(e>>6)%3 - 1
+			w.Record(rater, target, pol)
+			shadow[len(shadow)-1].Record(rater, target, pol)
+		}
+		want := NewLedger(n)
+		lo := len(shadow) - window
+		if lo < 0 {
+			lo = 0
+		}
+		for _, p := range shadow[lo:] {
+			if err := want.Merge(p); err != nil {
+				return false
+			}
+		}
+		got := w.Window()
+		for target := 0; target < n; target++ {
+			if got.TotalFor(target) != want.TotalFor(target) ||
+				got.SummationScore(target) != want.SummationScore(target) {
+				return false
+			}
+			for rater := 0; rater < n; rater++ {
+				if got.PairTotal(target, rater) != want.PairTotal(target, rater) ||
+					got.PairPositive(target, rater) != want.PairPositive(target, rater) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWindowMerge(b *testing.B) {
+	w := NewWindowedLedger(200, 5)
+	for p := 0; p < 5; p++ {
+		for k := 0; k < 2000; k++ {
+			w.Record(k%199, 199, 1)
+		}
+		if p < 4 {
+			w.Advance()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Window()
+	}
+}

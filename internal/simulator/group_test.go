@@ -1,0 +1,112 @@
+package simulator
+
+import "testing"
+
+// groupConfig plants a 3-ring and a 4-ring alongside the usual pairs.
+func groupConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ColluderGoodProb = 0.2
+	cfg.Colluders = []int{3, 4} // one classic pair
+	cfg.ColluderRings = [][]int{{20, 21, 22}, {30, 31, 32, 33}}
+	return cfg
+}
+
+func TestRingConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.ColluderRings = [][]int{{1, 2}} },       // too small
+		func(c *Config) { c.ColluderRings = [][]int{{-1, 20, 21}} }, // out of range
+		func(c *Config) { c.ColluderRings = [][]int{{3, 20, 21}} },  // duplicate with colluders
+		func(c *Config) { c.ColluderRings = [][]int{{0, 20, 21}} },  // duplicate with pretrusted
+	}
+	for i, mutate := range bad {
+		cfg := groupConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("bad ring config %d accepted", i)
+		}
+	}
+}
+
+func TestGroupDetectorCatchesRings(t *testing.T) {
+	cfg := groupConfig()
+	cfg.Detector = DetectorGroup
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ring := range cfg.ColluderRings {
+		for _, m := range ring {
+			if !res.Flagged[m] {
+				t.Fatalf("ring member %d not flagged", m)
+			}
+			if res.Scores[m] != 0 {
+				t.Fatalf("ring member %d score %v, want 0", m, res.Scores[m])
+			}
+		}
+	}
+	// The classic pair is a 2-cycle and must also be caught.
+	if !res.Flagged[3] || !res.Flagged[4] {
+		t.Fatal("pair not flagged by group detector")
+	}
+	if len(res.DetectedGroups) < 3 {
+		t.Fatalf("detected groups = %d, want >= 3", len(res.DetectedGroups))
+	}
+	// Pretrusted nodes must stay clean.
+	for _, p := range cfg.Pretrusted {
+		if res.Flagged[p] {
+			t.Fatalf("pretrusted node %d falsely flagged", p)
+		}
+	}
+}
+
+// The paper's pairwise methods are blind to rings: they catch the planted
+// pair but not the ring members, which keep their manufactured
+// reputations. This is the gap the future-work extension closes.
+func TestPairwiseDetectorMissesRings(t *testing.T) {
+	cfg := groupConfig()
+	cfg.Detector = DetectorOptimized
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flagged[3] || !res.Flagged[4] {
+		t.Fatal("pairwise detector missed the mutual pair")
+	}
+	for _, ring := range cfg.ColluderRings {
+		for _, m := range ring {
+			if res.Flagged[m] {
+				t.Fatalf("pairwise detector unexpectedly flagged ring member %d", m)
+			}
+		}
+	}
+}
+
+// Ring members actually profit when their service is passable (B=0.6, the
+// Figure 5 regime): without any detector their reputations rival or exceed
+// normal nodes.
+func TestRingsBoostReputationWithoutDetection(t *testing.T) {
+	cfg := groupConfig()
+	cfg.ColluderGoodProb = 0.6
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalMean := 0.0
+	count := 0
+	for i := 40; i < cfg.Overlay.Nodes; i++ {
+		normalMean += res.Scores[i]
+		count++
+	}
+	normalMean /= float64(count)
+	boosted := 0
+	for _, ring := range cfg.ColluderRings {
+		for _, m := range ring {
+			if res.Scores[m] > normalMean {
+				boosted++
+			}
+		}
+	}
+	if boosted < 4 {
+		t.Fatalf("only %d/7 ring members above the normal mean %v", boosted, normalMean)
+	}
+}

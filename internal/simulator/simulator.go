@@ -1,0 +1,542 @@
+package simulator
+
+import (
+	"fmt"
+
+	"github.com/p2psim/collusion/internal/core"
+	"github.com/p2psim/collusion/internal/overlay"
+	"github.com/p2psim/collusion/internal/reputation"
+	"github.com/p2psim/collusion/internal/rng"
+)
+
+// Result captures one simulation run.
+type Result struct {
+	// Scores holds each node's final reputation under the configured
+	// engine, with detected colluders forced to zero.
+	Scores []float64
+	// Flagged marks nodes detected as colluders at any point in the run.
+	Flagged []bool
+	// DetectedPairs aggregates every distinct pair the detector reported.
+	DetectedPairs []core.Evidence
+	// DetectedGroups aggregates the collectives the group detector
+	// reported (empty unless Config.Detector is DetectorGroup).
+	DetectedGroups []core.Group
+	// DetectedSwarms aggregates the boosting swarms the Sybil detector
+	// reported (empty unless Config.Detector is DetectorSybil).
+	DetectedSwarms []core.SybilFinding
+	// RequestsTotal counts all served file requests.
+	RequestsTotal int
+	// RequestsToColluders counts requests served by configured colluders
+	// (including compromised pretrusted nodes).
+	RequestsToColluders int
+	// RatingsRecorded counts ledger entries written during the run.
+	RatingsRecorded int
+	// DetectionCycle[i] is the 1-based simulation cycle in which node i
+	// was first flagged, or 0 if it never was — the detection-latency
+	// measure used by the threshold ablation.
+	DetectionCycle []int
+	// Ledger is the cumulative period ledger, exposed for post-hoc
+	// analysis and for feeding the decentralized detector.
+	Ledger *reputation.Ledger
+}
+
+// PercentToColluders returns the share of requests served by colluders.
+func (r *Result) PercentToColluders() float64 {
+	if r.RequestsTotal == 0 {
+		return 0
+	}
+	return float64(r.RequestsToColluders) / float64(r.RequestsTotal)
+}
+
+// Run executes one deterministic simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for cycle := 1; cycle <= cfg.SimCycles; cycle++ {
+		s.cycle = cycle
+		for q := 0; q < cfg.QueryCycles; q++ {
+			s.queryCycle()
+		}
+		s.updateReputations()
+		s.runDetection()
+		if cfg.OnCycle != nil {
+			cfg.OnCycle(cycle, s.scores)
+		}
+		if s.windowed != nil && cycle < cfg.SimCycles {
+			s.windowed.Advance()
+		}
+	}
+	return s.result(), nil
+}
+
+// state is the mutable simulation state.
+type state struct {
+	cfg      Config
+	net      *overlay.Network
+	r        *rng.Rand
+	ledger   *reputation.Ledger
+	windowed *reputation.WindowedLedger // non-nil when WindowCycles > 0
+	engine   reputation.Engine
+	det      core.Detector
+
+	activeProb []float64
+	goodProb   []float64
+	isColluder []bool // includes compromised pretrusted nodes
+	partners   [][]int
+
+	scores     []float64
+	flagged    []bool
+	pairs      map[[2]int]core.Evidence
+	groups     []core.Group
+	groupD     *core.GroupDetector
+	swarms     []core.SybilFinding
+	sybilD     *core.SybilDetector
+	ringEdges  [][2]int
+	rivalEdges [][2]int
+	detCycle   []int
+	cycle      int // current 1-based simulation cycle
+
+	capacity []int // remaining capacity within the current query cycle
+
+	requestsTotal       int
+	requestsToColluders int
+	ratings             int
+}
+
+func newState(cfg Config) (*state, error) {
+	net, err := overlay.New(overlay.Config{
+		Seed:               cfg.Seed,
+		Nodes:              cfg.Overlay.Nodes,
+		InterestCategories: cfg.Overlay.InterestCategories,
+		InterestsPerNode:   cfg.Overlay.InterestsPerNode,
+		Capacity:           cfg.Overlay.Capacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := net.Size()
+	s := &state{
+		cfg:        cfg,
+		net:        net,
+		r:          rng.New(cfg.Seed).Child("simulator"),
+		ledger:     reputation.NewLedger(n),
+		activeProb: make([]float64, n),
+		goodProb:   make([]float64, n),
+		isColluder: make([]bool, n),
+		partners:   make([][]int, n),
+		scores:     make([]float64, n),
+		flagged:    make([]bool, n),
+		pairs:      make(map[[2]int]core.Evidence),
+		capacity:   make([]int, n),
+		detCycle:   make([]int, n),
+	}
+	if cfg.WindowCycles > 0 {
+		s.windowed = reputation.NewWindowedLedger(n, cfg.WindowCycles)
+	}
+
+	for i := 0; i < n; i++ {
+		s.activeProb[i] = s.r.Float64Range(cfg.ActiveProbRange[0], cfg.ActiveProbRange[1])
+		s.goodProb[i] = cfg.NormalGoodProb
+	}
+	for _, p := range cfg.Pretrusted {
+		s.goodProb[p] = 1.0 // pretrusted nodes always serve authentic files
+	}
+	for _, c := range cfg.Colluders {
+		s.goodProb[c] = cfg.ColluderGoodProb
+		s.isColluder[c] = true
+	}
+	// Pair colluders consecutively, as in the paper's setup.
+	for i := 0; i+1 < len(cfg.Colluders); i += 2 {
+		a, b := cfg.Colluders[i], cfg.Colluders[i+1]
+		s.partners[a] = append(s.partners[a], b)
+		s.partners[b] = append(s.partners[b], a)
+	}
+	// Ring collectives: member i floods member i+1 (directed ring).
+	for _, ring := range cfg.ColluderRings {
+		for i, m := range ring {
+			s.goodProb[m] = cfg.ColluderGoodProb
+			s.isColluder[m] = true
+			next := ring[(i+1)%len(ring)]
+			s.ringEdges = append(s.ringEdges, [2]int{m, next})
+		}
+	}
+	// Sybil swarms: fake identities flood the beneficiary one-way. The
+	// beneficiary serves with colluder quality; the fakes behave normally
+	// when (rarely) chosen as servers. All participants count as
+	// colluders in request accounting.
+	for _, swarm := range cfg.SybilSwarms {
+		beneficiary := swarm[0]
+		s.goodProb[beneficiary] = cfg.ColluderGoodProb
+		s.isColluder[beneficiary] = true
+		for _, fake := range swarm[1:] {
+			s.isColluder[fake] = true
+			s.ringEdges = append(s.ringEdges, [2]int{fake, beneficiary})
+		}
+	}
+	// Rival attackers flood their victims with negatives each query cycle.
+	for _, rv := range cfg.Rivals {
+		s.rivalEdges = append(s.rivalEdges, rv)
+	}
+	// Compromised pretrusted nodes behave as colluders toward their
+	// partner (and are counted as colluders in request accounting).
+	for _, cp := range cfg.CompromisedPairs {
+		p, c := cp[0], cp[1]
+		s.partners[p] = append(s.partners[p], c)
+		s.partners[c] = append(s.partners[c], p)
+		s.isColluder[p] = true
+	}
+
+	switch cfg.Engine {
+	case EngineSummation:
+		s.engine = reputation.Summation{}
+	case EngineWeightedSum:
+		s.engine = reputation.NewWeightedSum(cfg.Pretrusted)
+	case EngineIterativeWeighted:
+		iw := reputation.NewIterativeWeighted(cfg.Pretrusted)
+		iw.Meter = cfg.Meter
+		s.engine = iw
+	case EngineSimilarity:
+		sw := reputation.NewSimilarityWeighted()
+		sw.Meter = cfg.Meter
+		s.engine = sw
+	default:
+		et := reputation.NewEigenTrust(cfg.Pretrusted)
+		et.Alpha = cfg.EigenTrustAlpha
+		// Server selection only needs score ordering, so the iteration can
+		// stop at modest precision — the paper notes the matrix "normally
+		// can converge within several iterations".
+		et.Epsilon = 1e-4
+		et.Meter = cfg.Meter
+		s.engine = et
+	}
+
+	switch cfg.Detector {
+	case DetectorBasic:
+		d := core.NewBasic(cfg.thresholds())
+		d.Meter = cfg.Meter
+		s.det = d
+	case DetectorOptimized:
+		d := core.NewOptimized(cfg.thresholds())
+		d.Meter = cfg.Meter
+		s.det = d
+	case DetectorGroup:
+		d := core.NewGroupDetector(cfg.thresholds())
+		d.Meter = cfg.Meter
+		s.groupD = d
+	case DetectorSybil:
+		d := core.NewSybilDetector(cfg.thresholds())
+		d.Meter = cfg.Meter
+		s.sybilD = d
+	}
+	return s, nil
+}
+
+// queryCycle runs one query cycle: capacity resets, every active node
+// issues one request, and colluding pairs exchange their rating floods.
+func (s *state) queryCycle() {
+	for i := range s.capacity {
+		s.capacity[i] = s.cfg.Overlay.Capacity
+	}
+	n := s.net.Size()
+	for node := 0; node < n; node++ {
+		if !s.r.Bool(s.activeProb[node]) {
+			continue
+		}
+		s.issueRequest(node)
+	}
+	if s.cfg.CollusionStartCycle > 1 && s.cycle < s.cfg.CollusionStartCycle {
+		return // collusion has not started yet
+	}
+	// Collusion flood: partners rate each other positively.
+	for node := 0; node < n; node++ {
+		for _, partner := range s.partners[node] {
+			if node < partner { // handle each pair once per cycle
+				for k := 0; k < s.cfg.CollusionRatings; k++ {
+					s.record(node, partner, 1)
+					s.record(partner, node, 1)
+				}
+			}
+		}
+	}
+	// Ring collectives flood along their directed edges.
+	for _, e := range s.ringEdges {
+		for k := 0; k < s.cfg.CollusionRatings; k++ {
+			s.record(e[0], e[1], 1)
+		}
+	}
+	// Rival attackers flood their victims with negatives.
+	for _, e := range s.rivalEdges {
+		for k := 0; k < s.cfg.CollusionRatings; k++ {
+			s.record(e[0], e[1], -1)
+		}
+	}
+}
+
+// issueRequest lets a node query one of its interest clusters and selects
+// the highest-reputed neighbor with available capacity; ties are broken
+// uniformly at random.
+func (s *state) issueRequest(client int) {
+	category := s.net.RandomInterest(client, s.r)
+	neighbors := s.net.Neighbors(client, category)
+	if s.cfg.ExplorationProb > 0 && s.r.Bool(s.cfg.ExplorationProb) {
+		s.exploreRequest(client, neighbors)
+		return
+	}
+	best := -1.0
+	var candidates []int
+	for _, nb := range neighbors {
+		if s.capacity[nb] <= 0 {
+			continue
+		}
+		switch {
+		case s.scores[nb] > best:
+			best = s.scores[nb]
+			candidates = candidates[:0]
+			candidates = append(candidates, nb)
+		case s.scores[nb] == best:
+			candidates = append(candidates, nb)
+		}
+	}
+	if len(candidates) == 0 {
+		return // nobody can serve this cycle
+	}
+	server := candidates[s.r.Intn(len(candidates))]
+	s.serve(client, server)
+}
+
+// exploreRequest picks a uniformly random capable neighbor (probabilistic
+// selection, Kamvar et al. Section 4.4), keeping the request dynamics
+// ergodic.
+func (s *state) exploreRequest(client int, neighbors []int) {
+	capable := make([]int, 0, len(neighbors))
+	for _, nb := range neighbors {
+		if s.capacity[nb] > 0 {
+			capable = append(capable, nb)
+		}
+	}
+	if len(capable) == 0 {
+		return
+	}
+	s.serve(client, capable[s.r.Intn(len(capable))])
+}
+
+// serve delivers one request: the server provides an authentic file with
+// its good-behavior probability and the client rates +1 / -1 accordingly,
+// as in Amazon, Overstock and the paper's reputation model.
+func (s *state) serve(client, server int) {
+	s.capacity[server]--
+	s.requestsTotal++
+	if s.isColluder[server] {
+		s.requestsToColluders++
+	}
+	if s.r.Bool(s.goodProb[server]) {
+		s.record(client, server, 1)
+	} else {
+		s.record(client, server, -1)
+	}
+}
+
+func (s *state) record(rater, target, polarity int) {
+	s.ledger.Record(rater, target, polarity)
+	if s.windowed != nil {
+		s.windowed.Record(rater, target, polarity)
+	}
+	if s.cfg.OnRating != nil {
+		s.cfg.OnRating(rater, target, polarity)
+	}
+	s.ratings++
+}
+
+// periodLedger returns the ledger detection and scoring operate on: the
+// sliding window when configured, otherwise the cumulative history.
+func (s *state) periodLedger() *reputation.Ledger {
+	if s.windowed != nil {
+		return s.windowed.Window()
+	}
+	return s.ledger
+}
+
+// updateReputations recomputes global scores with the configured engine
+// and keeps detected colluders at zero.
+func (s *state) updateReputations() {
+	s.scores = s.engine.Scores(s.periodLedger())
+	for i, f := range s.flagged {
+		if f {
+			s.scores[i] = 0
+		}
+	}
+}
+
+// runDetection executes the configured detector over the cumulative period
+// ledger and zeroes newly detected colluders.
+func (s *state) runDetection() {
+	if s.groupD == nil && s.det == nil && s.sybilD == nil {
+		return
+	}
+	period := s.periodLedger()
+	if s.sybilD != nil {
+		res := s.sybilD.Detect(period)
+		for _, f := range res.Findings {
+			if !s.knownSwarm(f) {
+				s.swarms = append(s.swarms, f)
+			}
+			s.flag(f.Target)
+			for _, b := range f.Boosters {
+				s.flag(b)
+			}
+		}
+		return
+	}
+	if s.groupD != nil {
+		res := s.groupD.Detect(period)
+		for _, g := range res.Groups {
+			if !s.knownGroup(g) {
+				s.groups = append(s.groups, g)
+			}
+			for _, m := range g.Members {
+				s.flag(m)
+			}
+		}
+		return
+	}
+	if s.det == nil {
+		return
+	}
+	res := s.det.Detect(period)
+	for _, e := range res.Pairs {
+		key := [2]int{e.I, e.J}
+		if _, ok := s.pairs[key]; !ok {
+			s.pairs[key] = e
+		}
+		s.flag(e.I)
+		s.flag(e.J)
+	}
+}
+
+// flag marks a node as detected, zeroes its reputation, and records the
+// cycle of first detection.
+func (s *state) flag(node int) {
+	if !s.flagged[node] {
+		s.flagged[node] = true
+		s.detCycle[node] = s.cycle
+	}
+	s.scores[node] = 0
+}
+
+// knownSwarm reports whether a swarm with the same target was already
+// recorded.
+func (s *state) knownSwarm(f core.SybilFinding) bool {
+	for _, known := range s.swarms {
+		if known.Target == f.Target {
+			return true
+		}
+	}
+	return false
+}
+
+// knownGroup reports whether an identical member set was already recorded.
+func (s *state) knownGroup(g core.Group) bool {
+	for _, known := range s.groups {
+		if len(known.Members) != len(g.Members) {
+			continue
+		}
+		same := true
+		for i := range known.Members {
+			if known.Members[i] != g.Members[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *state) result() *Result {
+	res := &Result{
+		Scores:              append([]float64(nil), s.scores...),
+		Flagged:             append([]bool(nil), s.flagged...),
+		RequestsTotal:       s.requestsTotal,
+		RequestsToColluders: s.requestsToColluders,
+		RatingsRecorded:     s.ratings,
+		DetectionCycle:      append([]int(nil), s.detCycle...),
+		Ledger:              s.ledger,
+	}
+	for _, e := range s.pairs {
+		res.DetectedPairs = append(res.DetectedPairs, e)
+	}
+	sortEvidence(res.DetectedPairs)
+	res.DetectedGroups = append(res.DetectedGroups, s.groups...)
+	res.DetectedSwarms = append(res.DetectedSwarms, s.swarms...)
+	return res
+}
+
+func sortEvidence(es []core.Evidence) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && less(es[j], es[j-1]); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func less(a, b core.Evidence) bool {
+	if a.I != b.I {
+		return a.I < b.I
+	}
+	return a.J < b.J
+}
+
+// AveragedResult aggregates several runs with perturbed seeds, as the
+// paper averages each experiment over five runs.
+type AveragedResult struct {
+	// Scores is the per-node mean of final reputations.
+	Scores []float64
+	// PercentToColluders is the mean share of requests served by colluders.
+	PercentToColluders float64
+	// FlagRate[i] is the fraction of runs in which node i was flagged.
+	FlagRate []float64
+	// Runs is the number of runs averaged.
+	Runs int
+}
+
+// RunAveraged executes runs simulations with distinct seeds and averages
+// the per-node scores and request shares.
+func RunAveraged(cfg Config, runs int) (*AveragedResult, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("simulator: runs = %d, want >= 1", runs)
+	}
+	n := cfg.Overlay.Nodes
+	avg := &AveragedResult{
+		Scores:   make([]float64, n),
+		FlagRate: make([]float64, n),
+		Runs:     runs,
+	}
+	for k := 0; k < runs; k++ {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + uint64(k)*0x9e3779b97f4a7c15
+		res, err := Run(runCfg)
+		if err != nil {
+			return nil, err
+		}
+		for i, sc := range res.Scores {
+			avg.Scores[i] += sc
+			if res.Flagged[i] {
+				avg.FlagRate[i]++
+			}
+		}
+		avg.PercentToColluders += res.PercentToColluders()
+	}
+	for i := range avg.Scores {
+		avg.Scores[i] /= float64(runs)
+		avg.FlagRate[i] /= float64(runs)
+	}
+	avg.PercentToColluders /= float64(runs)
+	return avg, nil
+}

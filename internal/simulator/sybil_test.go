@@ -1,0 +1,89 @@
+package simulator
+
+import "testing"
+
+func sybilConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ColluderGoodProb = 0.2
+	cfg.Colluders = nil
+	// Beneficiary 20 boosted by fakes 21-26.
+	cfg.SybilSwarms = [][]int{{20, 21, 22, 23, 24, 25, 26}}
+	return cfg
+}
+
+func TestSybilConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.SybilSwarms = [][]int{{20, 21}} },     // too small
+		func(c *Config) { c.SybilSwarms = [][]int{{-1, 21, 22}} }, // out of range
+		func(c *Config) { c.SybilSwarms = [][]int{{0, 21, 22}} },  // pretrusted reused
+		func(c *Config) { c.SybilSwarms = [][]int{{20, 21, 21}} }, // duplicate member
+	}
+	for i, mutate := range bad {
+		cfg := sybilConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("bad swarm config %d accepted", i)
+		}
+	}
+}
+
+func TestSybilDetectorCatchesSwarmInSimulation(t *testing.T) {
+	cfg := sybilConfig()
+	cfg.Detector = DetectorSybil
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range cfg.SybilSwarms[0] {
+		if !res.Flagged[m] {
+			t.Fatalf("swarm member %d not flagged", m)
+		}
+		if res.Scores[m] != 0 {
+			t.Fatalf("swarm member %d score %v, want 0", m, res.Scores[m])
+		}
+	}
+	if len(res.DetectedSwarms) == 0 {
+		t.Fatal("no swarms reported")
+	}
+	if res.DetectedSwarms[0].Target != 20 {
+		t.Fatalf("swarm target = %d, want 20", res.DetectedSwarms[0].Target)
+	}
+	for _, p := range cfg.Pretrusted {
+		if res.Flagged[p] {
+			t.Fatalf("pretrusted %d falsely flagged", p)
+		}
+	}
+}
+
+func TestPairwiseAndGroupMissSwarmInSimulation(t *testing.T) {
+	for _, det := range []DetectorKind{DetectorOptimized, DetectorGroup} {
+		cfg := sybilConfig()
+		cfg.Detector = det
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Flagged[20] {
+			t.Fatalf("%v unexpectedly flagged the swarm beneficiary", det)
+		}
+	}
+}
+
+func TestSwarmBoostsBeneficiaryWithoutDetection(t *testing.T) {
+	cfg := sybilConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalMean := 0.0
+	count := 0
+	for i := 30; i < cfg.Overlay.Nodes; i++ {
+		normalMean += res.Scores[i]
+		count++
+	}
+	normalMean /= float64(count)
+	if res.Scores[20] <= 5*normalMean {
+		t.Fatalf("beneficiary %v not boosted above normal mean %v",
+			res.Scores[20], normalMean)
+	}
+}

@@ -1,0 +1,308 @@
+package trace
+
+import (
+	"fmt"
+
+	"github.com/p2psim/collusion/internal/rng"
+)
+
+// SellerBand describes a group of sellers sharing a target reputation level
+// and an organic transaction volume, mirroring the reputation bands in
+// Figure 1(a) of the paper (high-reputed sellers attract more transactions).
+type SellerBand struct {
+	// Reputation is the band's target reputation in [0, 1] under the Amazon
+	// formula (positives / all ratings).
+	Reputation float64
+	// Count is how many sellers belong to the band.
+	Count int
+	// MeanDailyRatings is the expected number of organic ratings a band
+	// seller receives per day.
+	MeanDailyRatings float64
+}
+
+// AmazonConfig parameterizes the synthetic Amazon-style trace generator.
+// Sellers receive ratings from buyers; buyers are never rated back, matching
+// the asymmetry the paper notes for Amazon.
+type AmazonConfig struct {
+	// Seed makes generation reproducible.
+	Seed uint64
+	// Days is the observation window length (the paper's window is ~1 year).
+	Days int
+	// Bands describes the seller population.
+	Bands []SellerBand
+	// SuspiciousSellers is how many sellers (taken from the highest-volume
+	// mid-band sellers first) receive planted booster raters.
+	SuspiciousSellers int
+	// BoostersPerSeller is the number of planted always-5 raters per
+	// suspicious seller (the paper found pairs; 2 is typical).
+	BoostersPerSeller int
+	// BoosterRatingsPerYear bounds the planted booster frequency
+	// (paper: suspicious ≥ 20/year, max observed 55/year).
+	BoosterRatingsPerYear [2]int
+	// RivalsPerSeller is the number of planted always-1 raters per
+	// suspicious seller (the paper observed one such rival).
+	RivalsPerSeller int
+	// RivalRatingsPerYear bounds the planted rival frequency.
+	RivalRatingsPerYear [2]int
+	// NormalRepeatMax caps how many times a normal buyer rates the same
+	// seller in the window (paper: average 1/year, max ~15/year).
+	NormalRepeatMax int
+	// RepeatBuyerProb is the chance an organic rating comes from a buyer who
+	// already rated the seller, rather than a fresh buyer.
+	RepeatBuyerProb float64
+}
+
+// DefaultAmazonConfig mirrors the paper's population at a laptop-friendly
+// scale: 97 sellers in reputation bands [0.67, 0.98], a one-year window,
+// 18 suspicious sellers with booster pairs, and frequency thresholds
+// matching Section III (20/year suspicion cutoff, 55/year max).
+func DefaultAmazonConfig() AmazonConfig {
+	return AmazonConfig{
+		Seed: 1,
+		Days: DaysPerYear,
+		Bands: []SellerBand{
+			{Reputation: 0.98, Count: 12, MeanDailyRatings: 8},
+			{Reputation: 0.96, Count: 15, MeanDailyRatings: 6.5},
+			{Reputation: 0.95, Count: 15, MeanDailyRatings: 6},
+			{Reputation: 0.94, Count: 10, MeanDailyRatings: 5.5},
+			{Reputation: 0.91, Count: 12, MeanDailyRatings: 3.5},
+			{Reputation: 0.90, Count: 10, MeanDailyRatings: 3},
+			{Reputation: 0.88, Count: 11, MeanDailyRatings: 2.5},
+			{Reputation: 0.79, Count: 5, MeanDailyRatings: 1},
+			{Reputation: 0.67, Count: 7, MeanDailyRatings: 0.6},
+		},
+		SuspiciousSellers:     18,
+		BoostersPerSeller:     2,
+		BoosterRatingsPerYear: [2]int{22, 55},
+		RivalsPerSeller:       1,
+		RivalRatingsPerYear:   [2]int{20, 30},
+		NormalRepeatMax:       15,
+		RepeatBuyerProb:       0.05,
+	}
+}
+
+// Validate reports the first configuration problem, if any.
+func (c AmazonConfig) Validate() error {
+	if c.Days <= 0 {
+		return fmt.Errorf("trace: AmazonConfig.Days = %d, want > 0", c.Days)
+	}
+	if len(c.Bands) == 0 {
+		return fmt.Errorf("trace: AmazonConfig has no seller bands")
+	}
+	total := 0
+	for i, b := range c.Bands {
+		if b.Reputation < 0 || b.Reputation > 1 {
+			return fmt.Errorf("trace: band %d reputation %v outside [0,1]", i, b.Reputation)
+		}
+		if b.Count <= 0 {
+			return fmt.Errorf("trace: band %d count %d, want > 0", i, b.Count)
+		}
+		if b.MeanDailyRatings < 0 {
+			return fmt.Errorf("trace: band %d mean daily ratings %v, want >= 0", i, b.MeanDailyRatings)
+		}
+		total += b.Count
+	}
+	if c.SuspiciousSellers > total {
+		return fmt.Errorf("trace: %d suspicious sellers exceed %d total sellers", c.SuspiciousSellers, total)
+	}
+	if c.BoosterRatingsPerYear[0] > c.BoosterRatingsPerYear[1] {
+		return fmt.Errorf("trace: booster frequency range inverted")
+	}
+	if c.RivalRatingsPerYear[0] > c.RivalRatingsPerYear[1] {
+		return fmt.Errorf("trace: rival frequency range inverted")
+	}
+	if c.NormalRepeatMax < 1 {
+		return fmt.Errorf("trace: NormalRepeatMax = %d, want >= 1", c.NormalRepeatMax)
+	}
+	if c.RepeatBuyerProb < 0 || c.RepeatBuyerProb > 1 {
+		return fmt.Errorf("trace: RepeatBuyerProb = %v outside [0,1]", c.RepeatBuyerProb)
+	}
+	return nil
+}
+
+// SellerInfo reports the generator's intent for one seller, used by the
+// Figure 1 harnesses to label series without consulting detection output.
+type SellerInfo struct {
+	ID         NodeID
+	Band       float64 // the band's target reputation
+	Suspicious bool
+}
+
+// AmazonTrace is a generated Amazon-style trace plus seller metadata.
+type AmazonTrace struct {
+	Trace
+	Sellers []SellerInfo
+}
+
+// GenerateAmazon builds a synthetic Amazon-style rating trace.
+// Seller IDs occupy [0, #sellers); buyer IDs follow.
+func GenerateAmazon(cfg AmazonConfig) (*AmazonTrace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed).Child("amazon")
+
+	var sellers []SellerInfo
+	for _, band := range cfg.Bands {
+		for i := 0; i < band.Count; i++ {
+			sellers = append(sellers, SellerInfo{ID: NodeID(len(sellers)), Band: band.Reputation})
+		}
+	}
+	nextBuyer := NodeID(len(sellers))
+
+	out := &AmazonTrace{}
+	out.Truth.Boosters = make(map[NodeID][]NodeID)
+	out.Truth.Rivals = make(map[NodeID][]NodeID)
+
+	// Mark suspicious sellers: the paper's suspects sit in the [0.94, 0.97]
+	// reputation range, so pick from bands inside it first.
+	suspicious := pickSuspicious(sellers, cfg.SuspiciousSellers)
+	for _, idx := range suspicious {
+		sellers[idx].Suspicious = true
+	}
+
+	// Organic traffic per seller.
+	bandOf := expandBands(cfg.Bands)
+	for si := range sellers {
+		band := bandOf[si]
+		nRatings := r.Poisson(band.MeanDailyRatings * float64(cfg.Days))
+		buyers := newBuyerPool(cfg.NormalRepeatMax)
+		for k := 0; k < nRatings; k++ {
+			buyer := buyers.pick(r, cfg.RepeatBuyerProb, &nextBuyer)
+			out.Ratings = append(out.Ratings, Rating{
+				Day:    r.Intn(cfg.Days),
+				Rater:  buyer,
+				Target: sellers[si].ID,
+				Score:  organicScore(r, band.Reputation),
+			})
+		}
+	}
+
+	// Planted boosters and rivals on suspicious sellers.
+	for _, si := range suspicious {
+		seller := sellers[si].ID
+		for b := 0; b < cfg.BoostersPerSeller; b++ {
+			booster := nextBuyer
+			nextBuyer++
+			out.Truth.Boosters[seller] = append(out.Truth.Boosters[seller], booster)
+			n := scaleFrequency(r, cfg.BoosterRatingsPerYear, cfg.Days)
+			for k := 0; k < n; k++ {
+				out.Ratings = append(out.Ratings, Rating{
+					Day: r.Intn(cfg.Days), Rater: booster, Target: seller, Score: 5,
+				})
+			}
+		}
+		for v := 0; v < cfg.RivalsPerSeller; v++ {
+			rival := nextBuyer
+			nextBuyer++
+			out.Truth.Rivals[seller] = append(out.Truth.Rivals[seller], rival)
+			n := scaleFrequency(r, cfg.RivalRatingsPerYear, cfg.Days)
+			for k := 0; k < n; k++ {
+				out.Ratings = append(out.Ratings, Rating{
+					Day: r.Intn(cfg.Days), Rater: rival, Target: seller, Score: 1,
+				})
+			}
+		}
+	}
+
+	out.Sellers = sellers
+	out.SortByDay()
+	return out, nil
+}
+
+// pickSuspicious returns indices of sellers to mark suspicious, preferring
+// bands within [0.94, 0.97] and falling back to the highest bands below it.
+func pickSuspicious(sellers []SellerInfo, n int) []int {
+	var preferred, fallback []int
+	for i, s := range sellers {
+		if s.Band >= 0.94 && s.Band <= 0.97 {
+			preferred = append(preferred, i)
+		} else {
+			fallback = append(fallback, i)
+		}
+	}
+	picked := preferred
+	if len(picked) > n {
+		picked = picked[:n]
+	} else {
+		need := n - len(picked)
+		if need > len(fallback) {
+			need = len(fallback)
+		}
+		picked = append(picked, fallback[:need]...)
+	}
+	return picked
+}
+
+// expandBands flattens band descriptors to one entry per seller, matching
+// the seller construction order in GenerateAmazon.
+func expandBands(bands []SellerBand) []SellerBand {
+	var out []SellerBand
+	for _, b := range bands {
+		for i := 0; i < b.Count; i++ {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// organicScore draws a raw score whose polarity is positive with the band's
+// target probability; the small neutral share mirrors real feedback noise.
+func organicScore(r *rng.Rand, reputation float64) Score {
+	u := r.Float64()
+	switch {
+	case u < reputation:
+		if r.Bool(0.7) {
+			return 5
+		}
+		return 4
+	case u < reputation+(1-reputation)*0.1:
+		return 3
+	default:
+		if r.Bool(0.6) {
+			return 1
+		}
+		return 2
+	}
+}
+
+// scaleFrequency draws a per-year count in [lo, hi] and scales it to the
+// configured window length, keeping at least one event.
+func scaleFrequency(r *rng.Rand, perYear [2]int, days int) int {
+	n := r.IntRange(perYear[0], perYear[1])
+	scaled := n * days / DaysPerYear
+	if scaled < 1 {
+		scaled = 1
+	}
+	return scaled
+}
+
+// buyerPool tracks buyers who already rated a seller so organic repeats stay
+// under the configured per-pair cap.
+type buyerPool struct {
+	repeatMax int
+	buyers    []NodeID
+	counts    map[NodeID]int
+}
+
+func newBuyerPool(repeatMax int) *buyerPool {
+	return &buyerPool{repeatMax: repeatMax, counts: make(map[NodeID]int)}
+}
+
+func (p *buyerPool) pick(r *rng.Rand, repeatProb float64, next *NodeID) NodeID {
+	if len(p.buyers) > 0 && r.Bool(repeatProb) {
+		// Try a few times to find a repeat buyer under the cap.
+		for attempt := 0; attempt < 4; attempt++ {
+			b := p.buyers[r.Intn(len(p.buyers))]
+			if p.counts[b] < p.repeatMax {
+				p.counts[b]++
+				return b
+			}
+		}
+	}
+	b := *next
+	*next++
+	p.buyers = append(p.buyers, b)
+	p.counts[b] = 1
+	return b
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the column layout used by WriteCSV and expected by ReadCSV.
+var csvHeader = []string{"day", "rater", "target", "score"}
+
+// WriteCSV encodes the trace's ratings as CSV with a header row. Ground
+// truth is intentionally not serialized: an ingested trace, like a real
+// crawl, carries no labels.
+func WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	row := make([]string, 4)
+	for _, r := range t.Ratings {
+		row[0] = strconv.Itoa(r.Day)
+		row[1] = strconv.Itoa(int(r.Rater))
+		row[2] = strconv.Itoa(int(r.Target))
+		row[3] = strconv.Itoa(int(r.Score))
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a trace previously written by WriteCSV (or produced by
+// any tool emitting the same day,rater,target,score layout).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: unexpected header column %d: got %q, want %q", i, header[i], want)
+		}
+	}
+	t := &Trace{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read line %d: %w", line, err)
+		}
+		rating, err := parseRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		t.Ratings = append(t.Ratings, rating)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseRow(rec []string) (Rating, error) {
+	day, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return Rating{}, fmt.Errorf("bad day %q: %w", rec[0], err)
+	}
+	rater, err := strconv.Atoi(rec[1])
+	if err != nil {
+		return Rating{}, fmt.Errorf("bad rater %q: %w", rec[1], err)
+	}
+	target, err := strconv.Atoi(rec[2])
+	if err != nil {
+		return Rating{}, fmt.Errorf("bad target %q: %w", rec[2], err)
+	}
+	score, err := strconv.Atoi(rec[3])
+	if err != nil {
+		return Rating{}, fmt.Errorf("bad score %q: %w", rec[3], err)
+	}
+	return Rating{Day: day, Rater: NodeID(rater), Target: NodeID(target), Score: Score(score)}, nil
+}

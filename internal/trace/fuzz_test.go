@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV drives the trace parser with arbitrary input: it must never
+// panic, and anything it accepts must be a structurally valid trace that
+// survives a round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("day,rater,target,score\n1,2,3,4\n")
+	f.Add("day,rater,target,score\n0,100,1,5\n364,101,2,1\n")
+	f.Add("day,rater,target,score\n")
+	f.Add("wrong,header,entirely,here\n1,2,3,4\n")
+	f.Add("day,rater,target,score\n-1,2,3,4\n")
+	f.Add("day,rater,target,score\n1,2,2,4\n")      // self rating
+	f.Add("day,rater,target,score\n1,2,3,9\n")      // bad score
+	f.Add("day,rater,target,score\nx,y,z,w\n")      // non-numeric
+	f.Add("day,rater,target,score\n1,2,3\n")        // short row
+	f.Add("day,rater,target,score\n1,2,3,4,5\n")    // long row
+	f.Add("day,rater,target,score\n1,2,3,4\n\x00卡") // binary garbage
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tr); err != nil {
+			t.Fatalf("accepted trace cannot be re-encoded: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded trace rejected: %v", err)
+		}
+		if len(again.Ratings) != len(tr.Ratings) {
+			t.Fatalf("round trip changed size: %d != %d", len(again.Ratings), len(tr.Ratings))
+		}
+		for i := range again.Ratings {
+			if again.Ratings[i] != tr.Ratings[i] {
+				t.Fatalf("round trip changed rating %d", i)
+			}
+		}
+	})
+}

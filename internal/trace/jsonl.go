@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonlRating is the wire form of one rating in JSON-Lines traces.
+type jsonlRating struct {
+	Day    int `json:"day"`
+	Rater  int `json:"rater"`
+	Target int `json:"target"`
+	Score  int `json:"score"`
+}
+
+// WriteJSONL encodes the trace's ratings as JSON Lines (one rating object
+// per line), a common interchange format for streaming trace processing.
+// As with CSV, ground truth is not serialized.
+func WriteJSONL(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, r := range t.Ratings {
+		if err := enc.Encode(jsonlRating{
+			Day:    r.Day,
+			Rater:  int(r.Rater),
+			Target: int(r.Target),
+			Score:  int(r.Score),
+		}); err != nil {
+			return fmt.Errorf("trace: encode rating %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a JSON-Lines trace written by WriteJSONL. Blank lines
+// are skipped; the decoded trace is validated structurally.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var jr jsonlRating
+		if err := json.Unmarshal(raw, &jr); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		t.Ratings = append(t.Ratings, Rating{
+			Day:    jr.Day,
+			Rater:  NodeID(jr.Rater),
+			Target: NodeID(jr.Target),
+			Score:  Score(jr.Score),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	orig := &Trace{Ratings: []Rating{
+		{Day: 0, Rater: 100, Target: 1, Score: 5},
+		{Day: 42, Rater: 101, Target: 2, Score: 1},
+		{Day: 364, Rater: 102, Target: 1, Score: 3},
+	}}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ratings) != len(orig.Ratings) {
+		t.Fatalf("round trip lost ratings: %d != %d", len(got.Ratings), len(orig.Ratings))
+	}
+	for i := range got.Ratings {
+		if got.Ratings[i] != orig.Ratings[i] {
+			t.Fatalf("rating %d mismatch", i)
+		}
+	}
+}
+
+func TestJSONLSkipsBlankLines(t *testing.T) {
+	in := "{\"day\":1,\"rater\":2,\"target\":3,\"score\":4}\n\n{\"day\":2,\"rater\":5,\"target\":6,\"score\":5}\n"
+	tr, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ratings) != 2 {
+		t.Fatalf("got %d ratings, want 2", len(tr.Ratings))
+	}
+}
+
+func TestJSONLRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json\n",
+		"{\"day\":1,\"rater\":2,\"target\":2,\"score\":4}\n", // self rating
+		"{\"day\":1,\"rater\":2,\"target\":3,\"score\":9}\n", // bad score
+		"{\"day\":-1,\"rater\":2,\"target\":3,\"score\":4}\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+// Property: CSV and JSONL codecs agree on every valid trace.
+func TestQuickCodecsAgree(t *testing.T) {
+	f := func(days []uint8, parts []uint16) bool {
+		n := len(days)
+		if len(parts) < n {
+			n = len(parts)
+		}
+		tr := &Trace{}
+		for i := 0; i < n; i++ {
+			rater := NodeID(parts[i] & 0xFF)
+			target := NodeID(parts[i] >> 8)
+			if rater == target {
+				target++
+			}
+			tr.Ratings = append(tr.Ratings, Rating{
+				Day:    int(days[i]),
+				Rater:  rater,
+				Target: target,
+				Score:  Score(int(parts[i])%5 + 1),
+			})
+		}
+		var csvBuf, jsonBuf bytes.Buffer
+		if err := WriteCSV(&csvBuf, tr); err != nil {
+			return false
+		}
+		if err := WriteJSONL(&jsonBuf, tr); err != nil {
+			return false
+		}
+		fromCSV, err := ReadCSV(&csvBuf)
+		if err != nil {
+			return false
+		}
+		fromJSON, err := ReadJSONL(&jsonBuf)
+		if err != nil {
+			return false
+		}
+		if len(fromCSV.Ratings) != len(fromJSON.Ratings) {
+			return false
+		}
+		for i := range fromCSV.Ratings {
+			if fromCSV.Ratings[i] != fromJSON.Ratings[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteJSONL(b *testing.B) {
+	at, err := GenerateAmazon(smallAmazonConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, &at.Trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"fmt"
+
+	"github.com/p2psim/collusion/internal/rng"
+)
+
+// OverstockConfig parameterizes the synthetic Overstock-Auctions-style trace
+// generator. Unlike Amazon, every user can act as both buyer and seller, so
+// mutual rating relationships exist and group structure can be studied
+// (Figure 1(d) and characteristic C5).
+type OverstockConfig struct {
+	// Seed makes generation reproducible.
+	Seed uint64
+	// Days is the observation window length.
+	Days int
+	// Users is the population size (the paper crawled ~100k and sampled 500
+	// for the figure; the default is laptop-scale with the same structure).
+	Users int
+	// OrganicTransactions is the number of ordinary one-off transactions;
+	// each produces a buyer→seller rating and, with MutualRatingProb, a
+	// seller→buyer rating back.
+	OrganicTransactions int
+	// MutualRatingProb is the chance a transaction is rated in both
+	// directions.
+	MutualRatingProb float64
+	// ColludingPairs is the number of planted mutually boosting pairs.
+	ColludingPairs int
+	// ColluderRatingsPerYear bounds the planted per-direction frequency
+	// (paper: edges drawn when a pair exceeds 20 ratings).
+	ColluderRatingsPerYear [2]int
+	// ChainUsers plants users that collude with two different partners in
+	// separate pairs, reproducing the connected-but-pairwise triples the
+	// paper observed (a node may have multiple colluders, but only in
+	// pairs — never a closed group of three).
+	ChainUsers int
+	// PositiveProb is the chance an organic rating is positive.
+	PositiveProb float64
+}
+
+// DefaultOverstockConfig mirrors the paper's Overstock analysis at reduced
+// scale: 2,000 users, ~9,000 organic transactions, 12 colluding pairs and
+// 3 chain users, over one year.
+func DefaultOverstockConfig() OverstockConfig {
+	return OverstockConfig{
+		Seed:                   1,
+		Days:                   DaysPerYear,
+		Users:                  2000,
+		OrganicTransactions:    9000,
+		MutualRatingProb:       0.5,
+		ColludingPairs:         12,
+		ColluderRatingsPerYear: [2]int{25, 55},
+		ChainUsers:             3,
+		PositiveProb:           0.92,
+	}
+}
+
+// Validate reports the first configuration problem, if any.
+func (c OverstockConfig) Validate() error {
+	if c.Days <= 0 {
+		return fmt.Errorf("trace: OverstockConfig.Days = %d, want > 0", c.Days)
+	}
+	if c.Users < 2 {
+		return fmt.Errorf("trace: OverstockConfig.Users = %d, want >= 2", c.Users)
+	}
+	if c.OrganicTransactions < 0 {
+		return fmt.Errorf("trace: negative organic transactions")
+	}
+	if c.MutualRatingProb < 0 || c.MutualRatingProb > 1 {
+		return fmt.Errorf("trace: MutualRatingProb = %v outside [0,1]", c.MutualRatingProb)
+	}
+	if c.PositiveProb < 0 || c.PositiveProb > 1 {
+		return fmt.Errorf("trace: PositiveProb = %v outside [0,1]", c.PositiveProb)
+	}
+	needed := 2*c.ColludingPairs + 3*c.ChainUsers
+	if needed > c.Users {
+		return fmt.Errorf("trace: %d users needed for planted structures, only %d available", needed, c.Users)
+	}
+	if c.ColluderRatingsPerYear[0] > c.ColluderRatingsPerYear[1] {
+		return fmt.Errorf("trace: colluder frequency range inverted")
+	}
+	if c.ColluderRatingsPerYear[0] < 1 {
+		return fmt.Errorf("trace: colluder frequency must be >= 1")
+	}
+	return nil
+}
+
+// GenerateOverstock builds a synthetic Overstock-style mutual-rating trace.
+// User IDs occupy [0, Users).
+func GenerateOverstock(cfg OverstockConfig) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed).Child("overstock")
+
+	t := &Trace{}
+	t.Truth.Boosters = make(map[NodeID][]NodeID)
+	t.Truth.Rivals = make(map[NodeID][]NodeID)
+
+	// Reserve users for planted structures from the front of the ID space
+	// (deterministic and easy to reason about in tests); organic traffic is
+	// drawn over the whole population, so planted users also look normal.
+	next := 0
+	take := func() NodeID { id := NodeID(next); next++; return id }
+
+	// Plain colluding pairs.
+	for i := 0; i < cfg.ColludingPairs; i++ {
+		a, b := take(), take()
+		t.Truth.ColludingPairs = append(t.Truth.ColludingPairs, [2]NodeID{a, b})
+		plantMutual(r, t, cfg, a, b)
+	}
+	// Chain users: c pairs with both a and b, but a and b never pair.
+	for i := 0; i < cfg.ChainUsers; i++ {
+		a, c, b := take(), take(), take()
+		t.Truth.ColludingPairs = append(t.Truth.ColludingPairs, [2]NodeID{a, c}, [2]NodeID{c, b})
+		plantMutual(r, t, cfg, a, c)
+		plantMutual(r, t, cfg, c, b)
+	}
+
+	// Organic transactions across the full population.
+	for i := 0; i < cfg.OrganicTransactions; i++ {
+		buyer := NodeID(r.Intn(cfg.Users))
+		seller := NodeID(r.Intn(cfg.Users))
+		for seller == buyer {
+			seller = NodeID(r.Intn(cfg.Users))
+		}
+		day := r.Intn(cfg.Days)
+		t.Ratings = append(t.Ratings, Rating{
+			Day: day, Rater: buyer, Target: seller, Score: organicMutualScore(r, cfg.PositiveProb),
+		})
+		if r.Bool(cfg.MutualRatingProb) {
+			t.Ratings = append(t.Ratings, Rating{
+				Day: day, Rater: seller, Target: buyer, Score: organicMutualScore(r, cfg.PositiveProb),
+			})
+		}
+	}
+
+	t.SortByDay()
+	return t, nil
+}
+
+// plantMutual adds high-frequency 5-star ratings in both directions of a
+// colluding pair.
+func plantMutual(r *rng.Rand, t *Trace, cfg OverstockConfig, a, b NodeID) {
+	for _, dir := range [2][2]NodeID{{a, b}, {b, a}} {
+		n := scaleFrequency(r, cfg.ColluderRatingsPerYear, cfg.Days)
+		for k := 0; k < n; k++ {
+			t.Ratings = append(t.Ratings, Rating{
+				Day: r.Intn(cfg.Days), Rater: dir[0], Target: dir[1], Score: 5,
+			})
+		}
+	}
+}
+
+func organicMutualScore(r *rng.Rand, positiveProb float64) Score {
+	u := r.Float64()
+	switch {
+	case u < positiveProb:
+		if r.Bool(0.8) {
+			return 5
+		}
+		return 4
+	case u < positiveProb+(1-positiveProb)*0.2:
+		return 3
+	default:
+		if r.Bool(0.5) {
+			return 1
+		}
+		return 2
+	}
+}
