@@ -1,14 +1,20 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test race bench fuzz vet experiments ablations examples clean
+.PHONY: all build test race bench fuzz vet lint experiments ablations examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific determinism & correctness analyzers (internal/lint).
+# See DESIGN.md "Static analysis" for the rule catalogue.
+lint:
+	$(GO) run ./cmd/colsimlint ./...
 
 test:
 	$(GO) test ./...
@@ -19,8 +25,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Run every fuzz target under internal/trace for a short burst each; the
+# target list is discovered dynamically so new Fuzz* functions are picked
+# up automatically.
 fuzz:
-	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/trace/
+	@set -e; \
+	for t in $$($(GO) test -list '^Fuzz' ./internal/trace/ | grep '^Fuzz'); do \
+		echo "==> $$t"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime=$(FUZZTIME) ./internal/trace/; \
+	done
 
 # Regenerate every paper figure (text tables + CSVs under results/).
 experiments:

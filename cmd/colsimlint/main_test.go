@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the module root relative to this test's directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", root, err)
+	}
+	return root
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, ".", &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"determinism", "errdrop", "floateq", "maporder", "printlint"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestRepoIsClean is the acceptance gate: the linter must exit 0 with no
+// findings on its own repository.
+func TestRepoIsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(nil, repoRoot(t), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("colsimlint ./... = exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("clean run produced output:\n%s", stdout.String())
+	}
+}
+
+// TestDirtyModuleFails proves the non-zero exit on violations end to end
+// against a synthetic dirty module.
+func TestDirtyModuleFails(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module example.com/dirty\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "dirty.go"), `package dirty
+
+func fail() error { return nil }
+
+// Use discards an error.
+func Use() {
+	fail()
+}
+`)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./..."}, dir, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "errdrop") || !strings.Contains(stdout.String(), "dirty.go:7") {
+		t.Fatalf("finding not reported with position:\n%s", stdout.String())
+	}
+}
+
+func TestBadPatternExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./no-such-dir"}, repoRoot(t), &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -93,7 +93,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		if err := g.WriteDOT(df); err != nil {
-			df.Close()
+			_ = df.Close() // the write error is the one worth reporting
 			return err
 		}
 		if err := df.Close(); err != nil {

@@ -57,8 +57,11 @@ func RatingVsReputation(t *trace.Trace) []SellerVolume {
 		out = append(out, *v)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Reputation != out[j].Reputation {
-			return out[i].Reputation > out[j].Reputation
+		if out[i].Reputation > out[j].Reputation {
+			return true
+		}
+		if out[i].Reputation < out[j].Reputation {
+			return false
 		}
 		return out[i].Seller < out[j].Seller
 	})

@@ -121,6 +121,7 @@ func (g *InteractionGraph) Components() [][]trace.NodeID {
 			n := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, n)
+			//colsimlint:ignore maporder comp and comps are both sorted below, so traversal order cannot be observed
 			for nbr := range g.adj[n] {
 				if !visited[nbr] {
 					visited[nbr] = true

@@ -96,7 +96,10 @@ func (b *Basic) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 			high[c] = true
 		}
 	}
-	checked := make(map[[2]int]bool)
+	// checked is a flat bitset over normalized pairs (i < j): the O(mn²)
+	// inner loop probes it once per element, and a slice index is far
+	// cheaper there than map hashing, with one allocation up front.
+	checked := make([]bool, n*n)
 
 	// Scan rows top-down, elements left to right, as the paper describes.
 	for i := 0; i < n; i++ {
@@ -107,7 +110,7 @@ func (b *Basic) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 			if j == i {
 				continue
 			}
-			key := pairKey(i, j)
+			key := pairIndex(i, j, n)
 			if checked[key] {
 				continue
 			}
@@ -221,7 +224,8 @@ func (o *Optimized) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 			high[c] = true
 		}
 	}
-	checked := make(map[[2]int]bool)
+	// Same flat bitset dedup as Basic.DetectAmong.
+	checked := make([]bool, n*n)
 
 	for i := 0; i < n; i++ {
 		if !high[i] {
@@ -233,7 +237,7 @@ func (o *Optimized) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 			if j == i {
 				continue
 			}
-			key := pairKey(i, j)
+			key := pairIndex(i, j, n)
 			if checked[key] {
 				continue
 			}
@@ -345,11 +349,13 @@ func summationCandidates(l *reputation.Ledger, tr float64) []int {
 	return out
 }
 
-func pairKey(a, b int) [2]int {
+// pairIndex maps the unordered pair {a, b} to its flat upper-triangular
+// slot a*n+b (after normalizing a < b) in an n*n bitset.
+func pairIndex(a, b, n int) int {
 	if a > b {
 		a, b = b, a
 	}
-	return [2]int{a, b}
+	return a*n + b
 }
 
 func (r *Result) addPair(l *reputation.Ledger, i, j int) {

@@ -479,3 +479,89 @@ func benchLedger(n int) *reputation.Ledger {
 	}
 	return l
 }
+
+// TestResultEmpty pins the zero-value Result behavior: no pairs, no
+// flagged nodes, and HasPair is false for anything.
+func TestResultEmpty(t *testing.T) {
+	var r Result
+	if r.HasPair(0, 1) || r.HasPair(1, 0) || r.HasPair(-1, 5) {
+		t.Fatal("empty result reports a pair")
+	}
+	if nodes := r.FlaggedNodes(); len(nodes) != 0 {
+		t.Fatalf("empty result flags nodes: %v", nodes)
+	}
+}
+
+// TestHasPairOrderInsensitive verifies {a, b} is found regardless of
+// argument order, including equal and out-of-range arguments.
+func TestHasPairOrderInsensitive(t *testing.T) {
+	l := reputation.NewLedger(6)
+	var r Result
+	r.Flagged = make([]bool, 6)
+	r.addPair(l, 4, 2)
+	if !r.HasPair(2, 4) || !r.HasPair(4, 2) {
+		t.Fatal("pair not found in one of the argument orders")
+	}
+	if r.HasPair(2, 2) || r.HasPair(4, 4) {
+		t.Fatal("self pair reported")
+	}
+	if r.HasPair(2, 5) || r.HasPair(-3, 2) || r.HasPair(100, 200) {
+		t.Fatal("absent pair reported")
+	}
+}
+
+// TestFlaggedNodesSortedDistinct verifies FlaggedNodes is ascending and
+// deduplicated when a node appears in several pairs.
+func TestFlaggedNodesSortedDistinct(t *testing.T) {
+	l := reputation.NewLedger(8)
+	var r Result
+	r.Flagged = make([]bool, 8)
+	r.addPair(l, 7, 3)
+	r.addPair(l, 3, 1)
+	r.addPair(l, 5, 3)
+	nodes := r.FlaggedNodes()
+	want := []int{1, 3, 5, 7}
+	if len(nodes) != len(want) {
+		t.Fatalf("FlaggedNodes = %v, want %v", nodes, want)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("FlaggedNodes = %v, want %v", nodes, want)
+		}
+	}
+}
+
+// TestDetectAmongOutOfRangeCandidates verifies both detectors ignore
+// negative and too-large candidate indices instead of panicking, and
+// still find the planted pair among the valid ones.
+func TestDetectAmongOutOfRangeCandidates(t *testing.T) {
+	l := buildCollusionLedger(t)
+	candidates := []int{-5, -1, 1, 2, 3, 12, 99999}
+	for _, d := range []Detector{NewBasic(DefaultThresholds()), NewOptimized(DefaultThresholds())} {
+		res := d.DetectAmong(l, candidates)
+		if !res.HasPair(1, 2) {
+			t.Fatalf("%s: planted pair missed with out-of-range candidates", d.Name())
+		}
+		if len(res.Flagged) != l.Size() {
+			t.Fatalf("%s: Flagged sized %d, want %d", d.Name(), len(res.Flagged), l.Size())
+		}
+	}
+}
+
+// TestDetectAmongEmptyCandidates verifies an empty candidate set yields
+// an empty result with a correctly sized Flagged slice.
+func TestDetectAmongEmptyCandidates(t *testing.T) {
+	l := buildCollusionLedger(t)
+	for _, d := range []Detector{NewBasic(DefaultThresholds()), NewOptimized(DefaultThresholds())} {
+		res := d.DetectAmong(l, nil)
+		if len(res.Pairs) != 0 {
+			t.Fatalf("%s: pairs detected with no candidates: %+v", d.Name(), res.Pairs)
+		}
+		if len(res.FlaggedNodes()) != 0 {
+			t.Fatalf("%s: nodes flagged with no candidates", d.Name())
+		}
+		if len(res.Flagged) != l.Size() {
+			t.Fatalf("%s: Flagged sized %d, want %d", d.Name(), len(res.Flagged), l.Size())
+		}
+	}
+}

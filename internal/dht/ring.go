@@ -33,12 +33,13 @@ func (n *Node) Successor() *Node { return n.succ }
 // Predecessor returns the node's immediate predecessor on the ring.
 func (n *Node) Predecessor() *Node { return n.pred }
 
-// StoredKeys returns the keys currently stored at this node, unordered.
+// StoredKeys returns the keys currently stored at this node, ascending.
 func (n *Node) StoredKeys() []ID {
 	out := make([]ID, 0, len(n.store))
 	for k := range n.store {
 		out = append(out, k)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

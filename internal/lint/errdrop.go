@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDropAnalyzer flags expression statements that call a function
+// returning an error and silently discard it. Assigning the error to the
+// blank identifier (`_ = f()`) is an explicit, reviewable discard and is
+// not flagged.
+//
+// Calls that cannot meaningfully fail are exempt: the fmt stdout print
+// family, and writes to strings.Builder / bytes.Buffer (documented to
+// always return a nil error), including fmt.Fprint* targeting them. In
+// non-library packages (cmd/, examples/) the whole fmt print family is
+// exempt — command-line diagnostics to standard streams are
+// fire-and-forget there, mirroring printlint's scope.
+var ErrDropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag silently discarded error returns",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p, call) || errExempt(p, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "error return discarded; handle it or assign to _ explicitly")
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's last result is of type error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.Pkg.Info.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errExempt reports whether the call is on the cannot-fail exemption list.
+func errExempt(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Methods on strings.Builder / bytes.Buffer never return a non-nil
+	// error.
+	if recv, ok := p.Pkg.Info.Selections[sel]; ok {
+		return isNeverFailWriter(recv.Recv())
+	}
+	// Package-level fmt calls.
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Pkg.Info.Uses[ident].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "fmt" {
+		return false
+	}
+	name := sel.Sel.Name
+	if name == "Print" || name == "Printf" || name == "Println" {
+		return true
+	}
+	if strings.HasPrefix(name, "Fprint") {
+		// Command-line tools print diagnostics fire-and-forget.
+		if !p.IsLibrary() {
+			return true
+		}
+		// fmt.Fprint* into a never-fail writer.
+		return len(call.Args) > 0 && isNeverFailWriter(p.Pkg.Info.TypeOf(call.Args[0]))
+	}
+	return false
+}
+
+// isNeverFailWriter reports whether t is (a pointer to) strings.Builder or
+// bytes.Buffer.
+func isNeverFailWriter(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}

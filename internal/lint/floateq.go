@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqAnalyzer flags == and != between floating-point operands in
+// library code. Reputation scores (R_i) and the a/b rating shares of
+// Formula (1) are accumulated floats; exact comparison of such values is
+// almost always a rounding bug — compare against an epsilon instead.
+//
+// Comparison against the exact constant 0 is exempt: the zero value is
+// Go's unset-configuration sentinel (`if eps == 0 { eps = Default }`) and
+// a sum of non-negative terms is exactly zero iff every term is. NaN
+// probing via `x != x` is still flagged — use math.IsNaN.
+var FloatEqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floats in library code; use epsilon comparison",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	if !p.IsLibrary() {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isZeroConst(p, be.X) || isZeroConst(p, be.Y) {
+				return true
+			}
+			if isFloat(p, be.X) || isFloat(p, be.Y) {
+				p.Reportf(be.OpPos, "%s between floats; compare with an epsilon (e.g. math.Abs(a-b) < eps)", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+// isZeroConst reports whether the expression is a compile-time numeric
+// constant equal to exactly zero.
+func isZeroConst(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+	}
+	return false
+}
+
+// isFloat reports whether the expression's type is a floating-point basic
+// type (after unwrapping named types).
+func isFloat(p *Pass, e ast.Expr) bool {
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,263 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/p2psim/collusion/internal/lint"
+)
+
+// sharedLoader caches one loader (and its source-imported standard
+// library) across all fixture tests.
+var sharedLoader = sync.OnceValues(func() (*lint.Loader, error) {
+	return lint.NewLoader(".")
+})
+
+// loadFixture type-checks testdata/<name> under the given virtual import
+// path (relative to the module root).
+func loadFixture(t *testing.T, name, virtualPath string) *lint.Package {
+	t.Helper()
+	ldr, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := ldr.LoadDir(filepath.Join("testdata", name), ldr.Module+"/"+virtualPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// wantRe extracts the quoted expectation patterns of a // want comment.
+var wantRe = regexp.MustCompile(`"([^"]*)"`)
+
+// expectation is one // want "pattern" comment in a fixture file.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				rest := c.Text[idx+len("// want "):]
+				pos := pkg.Fset.Position(c.Pos())
+				groups := wantRe.FindAllStringSubmatch(rest, -1)
+				if len(groups) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, g := range groups {
+					re, err := regexp.Compile(g[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, g[1], err)
+					}
+					wants = append(wants, &expectation{
+						file:    pos.Filename,
+						line:    pos.Line,
+						pattern: re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over a fixture package and verifies its
+// findings against the fixture's // want comments, in both directions:
+// every finding must be expected, and every expectation must fire.
+func checkFixture(t *testing.T, a *lint.Analyzer, pkg *lint.Package) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	findings := lint.Run([]*lint.Analyzer{a}, []*lint.Package{pkg})
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.pattern.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	pkg := loadFixture(t, "determinism", "internal/core/lintfixture")
+	checkFixture(t, lint.DeterminismAnalyzer, pkg)
+}
+
+// TestDeterminismUnrestrictedTreeSilent proves the determinism rules do
+// not fire outside the seeded package trees: the same dirty fixture under
+// a cmd/ path yields no findings.
+func TestDeterminismUnrestrictedTreeSilent(t *testing.T) {
+	pkg := loadFixture(t, "determinism", "cmd/lintfixture")
+	findings := lint.Run([]*lint.Analyzer{lint.DeterminismAnalyzer}, []*lint.Package{pkg})
+	if len(findings) != 0 {
+		t.Fatalf("determinism fired outside restricted trees: %v", findings)
+	}
+}
+
+func TestErrDropFixture(t *testing.T) {
+	pkg := loadFixture(t, "errdrop", "internal/lintfixture/errdrop")
+	checkFixture(t, lint.ErrDropAnalyzer, pkg)
+}
+
+// TestErrDropFmtExemptInCommands proves the fmt print family is exempt
+// from errdrop under cmd/, while genuine error drops stay flagged.
+func TestErrDropFmtExemptInCommands(t *testing.T) {
+	pkg := loadFixture(t, "errdrop", "cmd/lintfixture-errdrop")
+	findings := lint.Run([]*lint.Analyzer{lint.ErrDropAnalyzer}, []*lint.Package{pkg})
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings under cmd/, want 3 (fmt exempt, real drops kept): %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if strings.Contains(f.Message, "Fprintln") {
+			t.Errorf("fmt.Fprintln flagged under cmd/: %s", f)
+		}
+	}
+}
+
+func TestFloatEqFixture(t *testing.T) {
+	pkg := loadFixture(t, "floateq", "internal/lintfixture/floateq")
+	checkFixture(t, lint.FloatEqAnalyzer, pkg)
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	pkg := loadFixture(t, "maporder", "internal/lintfixture/maporder")
+	checkFixture(t, lint.MapOrderAnalyzer, pkg)
+}
+
+func TestPrintFixture(t *testing.T) {
+	pkg := loadFixture(t, "printlint", "internal/lintfixture/printlint")
+	checkFixture(t, lint.PrintAnalyzer, pkg)
+}
+
+// TestPrintExemptInCommands proves printlint stays silent on the same
+// dirty fixture when it lives under cmd/.
+func TestPrintExemptInCommands(t *testing.T) {
+	pkg := loadFixture(t, "printlint", "cmd/lintfixture-print")
+	findings := lint.Run([]*lint.Analyzer{lint.PrintAnalyzer}, []*lint.Package{pkg})
+	if len(findings) != 0 {
+		t.Fatalf("printlint fired under cmd/: %v", findings)
+	}
+}
+
+// TestFloatEqExemptInCommands proves floateq is scoped to library code.
+func TestFloatEqExemptInCommands(t *testing.T) {
+	pkg := loadFixture(t, "floateq", "cmd/lintfixture-floateq")
+	findings := lint.Run([]*lint.Analyzer{lint.FloatEqAnalyzer}, []*lint.Package{pkg})
+	if len(findings) != 0 {
+		t.Fatalf("floateq fired under cmd/: %v", findings)
+	}
+}
+
+// TestAnalyzersCatalogue pins the rule catalogue: names are unique,
+// documented, and stable in order.
+func TestAnalyzersCatalogue(t *testing.T) {
+	got := lint.Analyzers()
+	wantNames := []string{"determinism", "errdrop", "floateq", "maporder", "printlint"}
+	if len(got) != len(wantNames) {
+		t.Fatalf("catalogue has %d analyzers, want %d", len(got), len(wantNames))
+	}
+	for i, a := range got {
+		if a.Name != wantNames[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, wantNames[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run", a.Name)
+		}
+	}
+}
+
+// TestFindingString pins the file:line:col rendering CI consumers parse.
+func TestFindingString(t *testing.T) {
+	pkg := loadFixture(t, "floateq", "internal/lintfixture/floateq")
+	findings := lint.Run([]*lint.Analyzer{lint.FloatEqAnalyzer}, []*lint.Package{pkg})
+	if len(findings) == 0 {
+		t.Fatal("no findings")
+	}
+	s := findings[0].String()
+	if !strings.Contains(s, "dirty.go:") || !strings.Contains(s, "floateq:") {
+		t.Fatalf("finding rendering = %q", s)
+	}
+}
+
+// TestLoaderRejectsMissingDir pins loader error behavior.
+func TestLoaderRejectsMissingDir(t *testing.T) {
+	ldr, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ldr.LoadDir(filepath.Join("testdata", "no-such-dir"), ldr.Module+"/nope"); err == nil {
+		t.Fatal("loading a missing directory succeeded")
+	}
+}
+
+// TestLoadPatterns exercises the ./... pattern walk over this package's
+// own tree: it must find internal/lint itself and skip testdata.
+func TestLoadPatterns(t *testing.T) {
+	ldr, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ldr.Load(".", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1 (testdata must be skipped)", len(pkgs))
+	}
+	if rel := pkgs[0].RelPath(); rel != "internal/lint" {
+		t.Fatalf("RelPath = %q, want internal/lint", rel)
+	}
+	var names []string
+	for _, f := range pkgs[0].Files {
+		names = append(names, filepath.Base(fixtureFileName(pkgs[0], f)))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatalf("files not sorted: %v", names)
+		}
+	}
+}
+
+func fixtureFileName(p *lint.Package, f *ast.File) string {
+	return p.Fset.Position(f.Pos()).Filename
+}
+
+// TestSuppressionDirective verifies //colsimlint:ignore silences a finding
+// on its own line and the line below, but nothing else.
+func TestSuppressionDirective(t *testing.T) {
+	pkg := loadFixture(t, "suppress", "internal/lintfixture/suppress")
+	checkFixture(t, lint.FloatEqAnalyzer, pkg)
+}
+
+func ExampleFinding_String() {
+	f := lint.Finding{Analyzer: "demo", Message: "message"}
+	f.Pos.Filename, f.Pos.Line, f.Pos.Column = "x.go", 3, 7
+	fmt.Println(f)
+	// Output: x.go:3:7: demo: message
+}

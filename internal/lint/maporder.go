@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrderAnalyzer flags `range` loops over maps whose body appends to a
+// slice or writes output: both leak Go's randomized map iteration order
+// into results, which makes experiment output nondeterministic. An append
+// is accepted when the enclosing function later passes the slice to a
+// sort.* or slices.* call; otherwise sort the result or iterate over
+// pre-sorted keys.
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration that appends or writes output without a subsequent sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, file := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				checkMapRange(p, rs, stack)
+			}
+			return true
+		})
+	}
+}
+
+func checkMapRange(p *Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	t := p.Pkg.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+
+	// Collect order-sensitive effects in the loop body: output writes and
+	// appends to identifiers.
+	var appendTargets []types.Object
+	wrote := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isOutputCall(p, n) {
+				wrote = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p, call) || i >= len(n.Lhs) {
+					continue
+				}
+				if ident, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := p.Pkg.Info.ObjectOf(ident); obj != nil {
+						appendTargets = append(appendTargets, obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if wrote {
+		p.Reportf(rs.For, "writing output while ranging over a map: iteration order is randomized; iterate sorted keys instead")
+	}
+	if len(appendTargets) == 0 {
+		return
+	}
+
+	// Find the innermost enclosing function body; a later sort.*/slices.*
+	// call that mentions the appended slice makes the order deterministic
+	// again.
+	var fnBody *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			fnBody = fn.Body
+		case *ast.FuncLit:
+			fnBody = fn.Body
+		}
+		if fnBody != nil {
+			break
+		}
+	}
+	for _, obj := range appendTargets {
+		if fnBody != nil && sortedAfter(p, fnBody, rs, obj) {
+			continue
+		}
+		p.Reportf(rs.For, "appending to %s while ranging over a map without sorting the result: iteration order is randomized", obj.Name())
+	}
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok || ident.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.Pkg.Info.ObjectOf(ident).(*types.Builtin)
+	return isBuiltin
+}
+
+// isOutputCall reports whether the call emits output whose order would be
+// observable: the fmt print family, the log package, the print builtins,
+// or Write*/Print* methods on any value.
+func isOutputCall(p *Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "print" || fun.Name == "println" {
+			_, isBuiltin := p.Pkg.Info.ObjectOf(fun).(*types.Builtin)
+			return isBuiltin
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if _, ok := p.Pkg.Info.Selections[fun]; ok {
+			// A method call: writing into any sink inside the loop bakes
+			// the iteration order into its contents.
+			return strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Print")
+		}
+		ident, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		pn, ok := p.Pkg.Info.Uses[ident].(*types.PkgName)
+		if !ok {
+			return false
+		}
+		switch pn.Imported().Path() {
+		case "fmt":
+			return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+		case "log":
+			return true
+		case "io":
+			return name == "WriteString" || name == "Copy"
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether fnBody contains a sort.* or slices.* call
+// after the range statement that mentions obj.
+func sortedAfter(p *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Pkg.Info.Uses[ident].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && p.Pkg.Info.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PrintAnalyzer forbids writing to stdout/stderr or the process-global
+// logger from library packages: simulation and analysis code must return
+// data and let cmd/ and examples/ decide how to present it. Flagged are
+// the fmt stdout print family, fmt.Fprint* aimed at os.Stdout/os.Stderr,
+// every log-package output function, and the print/println builtins.
+// cmd/, examples/ and main packages are exempt.
+var PrintAnalyzer = &Analyzer{
+	Name: "printlint",
+	Doc:  "forbid fmt.Print*/log output in library packages",
+	Run:  runPrint,
+}
+
+func runPrint(p *Pass) {
+	if !p.IsLibrary() {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name != "print" && fun.Name != "println" {
+					return true
+				}
+				if _, isBuiltin := p.Pkg.Info.ObjectOf(fun).(*types.Builtin); isBuiltin {
+					p.Reportf(call.Pos(), "builtin %s in library code: return data instead of printing", fun.Name)
+				}
+			case *ast.SelectorExpr:
+				ident, ok := fun.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := p.Pkg.Info.Uses[ident].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				name := fun.Sel.Name
+				switch pn.Imported().Path() {
+				case "fmt":
+					if name == "Print" || name == "Printf" || name == "Println" {
+						p.Reportf(call.Pos(), "fmt.%s in library code: return data and let cmd/ print", name)
+					} else if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 && isStdStream(p, call.Args[0]) {
+						p.Reportf(call.Pos(), "fmt.%s to a standard stream in library code: accept an io.Writer or return data", name)
+					}
+				case "log":
+					if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fatal") ||
+						strings.HasPrefix(name, "Panic") || name == "Output" {
+						p.Reportf(call.Pos(), "log.%s in library code: return an error or accept a logger", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isStdStream reports whether the expression is os.Stdout or os.Stderr.
+func isStdStream(p *Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stdout" && sel.Sel.Name != "Stderr") {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Pkg.Info.Uses[ident].(*types.PkgName)
+	return ok && pn.Imported().Path() == "os"
+}

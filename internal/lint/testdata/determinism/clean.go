@@ -1,0 +1,17 @@
+package fixture
+
+import "time"
+
+// TickInterval is a duration constant: naming durations is fine, only
+// reading the wall clock is not.
+const TickInterval = 100 * time.Millisecond
+
+// Format renders a duration; no clock is consulted.
+func Format(d time.Duration) string {
+	return d.String()
+}
+
+// Scaled multiplies a simulated duration.
+func Scaled(d time.Duration, n int) time.Duration {
+	return d * time.Duration(n)
+}

@@ -1,0 +1,30 @@
+// Package fixture seeds determinism violations: ambient randomness and
+// wall-clock reads that must not appear in seeded simulation packages.
+package fixture
+
+import (
+	crand "crypto/rand" // want "import of crypto/rand in seeded package"
+	mrand "math/rand"   // want "import of math/rand in seeded package"
+	"time"
+)
+
+// Jitter draws from the global math/rand source.
+func Jitter() float64 {
+	return mrand.Float64()
+}
+
+// Entropy reads from the OS entropy pool.
+func Entropy(buf []byte) {
+	_, _ = crand.Read(buf)
+}
+
+// Stamp reads the wall clock twice.
+func Stamp() int64 {
+	start := time.Now()                    // want "time.Now in seeded package"
+	return time.Since(start).Nanoseconds() // want "time.Since in seeded package"
+}
+
+// Deadline computes a wall-clock distance.
+func Deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until in seeded package"
+}

@@ -1,0 +1,54 @@
+// Package fixture seeds silently discarded error returns.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func fail() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+// Dropped discards error returns silently.
+func Dropped() {
+	fail()         // want "error return discarded"
+	pair()         // want "error return discarded"
+	os.Remove("x") // want "error return discarded"
+}
+
+// Explicit discards are reviewable and allowed.
+func Explicit() {
+	_ = fail()
+	_, _ = pair()
+}
+
+// Handled errors are the happy path.
+func Handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	n, err := pair()
+	if err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}
+
+// PrintDiag writes to an arbitrary writer; library code must propagate
+// the error (cmd/ packages are exempt).
+func PrintDiag(w io.Writer) {
+	fmt.Fprintln(w, "diag") // want "error return discarded"
+}
+
+// Exempt calls cannot meaningfully fail.
+func Exempt() string {
+	var b strings.Builder
+	b.WriteString("ok")
+	fmt.Fprintf(&b, "%d", 1)
+	fmt.Println("ok")
+	return b.String()
+}

@@ -1,0 +1,52 @@
+// Package fixture seeds exact floating-point comparisons.
+package fixture
+
+// Score is a named float: the underlying type still matters.
+type Score float64
+
+// Equal compares accumulated floats exactly.
+func Equal(a, b float64) bool {
+	return a == b // want "== between floats"
+}
+
+// NotEqual compares named floats exactly.
+func NotEqual(a, b Score) bool {
+	return a != b // want "!= between floats"
+}
+
+// Mixed converts and compares exactly.
+func Mixed(a float64, b int) bool {
+	return a == float64(b) // want "== between floats"
+}
+
+// NaNProbe uses the self-inequality idiom; math.IsNaN says what it means.
+func NaNProbe(x float64) bool {
+	return x != x // want "!= between floats"
+}
+
+// ZeroSentinel compares against the exact zero constant — the unset-value
+// idiom — and is exempt.
+func ZeroSentinel(eps float64) float64 {
+	if eps == 0 {
+		eps = 1e-9
+	}
+	return eps
+}
+
+// Close is the sanctioned epsilon comparison.
+func Close(a, b float64) bool {
+	return abs(a-b) < 1e-9
+}
+
+// Ints compare exactly without complaint.
+func Ints(a, b int) bool { return a == b }
+
+// Ordering comparisons on floats are fine.
+func Less(a, b float64) bool { return a < b }
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,81 @@
+// Package fixture seeds map-iteration-order leaks.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Keys appends map keys without sorting: callers observe random order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "appending to out while ranging over a map"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned pattern: append, then sort.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SortedBySlice also counts: sort.Slice mentions the appended slice.
+func SortedBySlice(m map[int]float64) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Dump prints while iterating: output order is randomized.
+func Dump(m map[string]int) {
+	for k, v := range m { // want "writing output while ranging over a map"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Render writes into a builder while iterating: the string content bakes
+// in the iteration order.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want "writing output while ranging over a map"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Sum is commutative aggregation; order cannot be observed.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes into another map; keyed writes are order-independent.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// SliceAppend ranges over a slice, which iterates in order.
+func SliceAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Package fixture seeds direct output from library code.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+// Report writes straight to process streams and the global logger.
+func Report(x int) {
+	fmt.Println("x =", x)             // want "fmt.Println in library code"
+	fmt.Printf("%d\n", x)             // want "fmt.Printf in library code"
+	fmt.Print(x)                      // want "fmt.Print in library code"
+	fmt.Fprintf(os.Stdout, "%d\n", x) // want "fmt.Fprintf to a standard stream"
+	fmt.Fprintln(os.Stderr, x)        // want "fmt.Fprintln to a standard stream"
+	log.Printf("x=%d", x)             // want "log.Printf in library code"
+	println(x)                        // want "builtin println in library code"
+}
+
+// Clean takes a writer from the caller; presentation stays in cmd/.
+func Clean(w io.Writer, x int) error {
+	_, err := fmt.Fprintf(w, "%d\n", x)
+	return err
+}
+
+// Sprint formats without emitting; that is allowed.
+func Sprint(x int) string {
+	return fmt.Sprintf("%d", x)
+}

@@ -1,6 +1,9 @@
 package reputation
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Engine computes a global reputation score for every node from a period's
 // ledger. Implementations must not mutate the ledger.
@@ -124,7 +127,7 @@ func ValidateEngine(e Engine, l *Ledger) error {
 			e.Name(), len(scores), l.Size())
 	}
 	for i, s := range scores {
-		if s != s || s > 1e18 || s < -1e18 {
+		if math.IsNaN(s) || s > 1e18 || s < -1e18 {
 			return fmt.Errorf("reputation: engine %q produced non-finite score %v for node %d",
 				e.Name(), s, i)
 		}

@@ -298,6 +298,7 @@ func (s *state) issueRequest(client int) {
 			best = s.scores[nb]
 			candidates = candidates[:0]
 			candidates = append(candidates, nb)
+		//colsimlint:ignore floateq exact tie on values copied from the same slice, not recomputed
 		case s.scores[nb] == best:
 			candidates = append(candidates, nb)
 		}

@@ -27,24 +27,75 @@ func FuzzReadCSV(f *testing.F) {
 		if err != nil {
 			return // rejection is fine; panics are not
 		}
-		if err := tr.Validate(); err != nil {
-			t.Fatalf("accepted trace fails validation: %v", err)
-		}
-		var buf bytes.Buffer
-		if err := WriteCSV(&buf, tr); err != nil {
-			t.Fatalf("accepted trace cannot be re-encoded: %v", err)
-		}
-		again, err := ReadCSV(&buf)
+		checkRoundTrips(t, tr)
+	})
+}
+
+// FuzzReadJSONL drives the JSON-Lines parser with arbitrary input under
+// the same contract as FuzzReadCSV: never panic, and every accepted trace
+// survives re-encoding through both codecs.
+func FuzzReadJSONL(f *testing.F) {
+	f.Add(`{"day":1,"rater":2,"target":3,"score":4}` + "\n")
+	f.Add(`{"day":0,"rater":100,"target":1,"score":5}` + "\n" + `{"day":364,"rater":101,"target":2,"score":1}` + "\n")
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add(`{"day":-1,"rater":2,"target":3,"score":4}`)        // bad day
+	f.Add(`{"day":1,"rater":2,"target":2,"score":4}`)         // self rating
+	f.Add(`{"day":1,"rater":2,"target":3,"score":9}`)         // bad score
+	f.Add(`{"day":1,"rater":2,"target":3}`)                   // missing field
+	f.Add(`{"day":1,"rater":2,"target":3,"score":4,"x":"y"}`) // extra field
+	f.Add("not json at all")
+	f.Add("{\"day\":1,\"rater\":2,\"target\":3,\"score\":4}\n\x00卡") // binary garbage
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadJSONL(strings.NewReader(input))
 		if err != nil {
-			t.Fatalf("re-encoded trace rejected: %v", err)
+			return // rejection is fine; panics are not
+		}
+		checkRoundTrips(t, tr)
+	})
+}
+
+// checkRoundTrips asserts an accepted trace is structurally valid and
+// survives CSV and JSONL re-encoding bit-identically.
+func checkRoundTrips(t *testing.T, tr *Trace) {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("accepted trace fails validation: %v", err)
+	}
+	type codec struct {
+		name  string
+		write func(*bytes.Buffer, *Trace) error
+		read  func(*bytes.Buffer) (*Trace, error)
+	}
+	codecs := []codec{
+		{
+			name:  "csv",
+			write: func(b *bytes.Buffer, tr *Trace) error { return WriteCSV(b, tr) },
+			read:  func(b *bytes.Buffer) (*Trace, error) { return ReadCSV(b) },
+		},
+		{
+			name:  "jsonl",
+			write: func(b *bytes.Buffer, tr *Trace) error { return WriteJSONL(b, tr) },
+			read:  func(b *bytes.Buffer) (*Trace, error) { return ReadJSONL(b) },
+		},
+	}
+	for _, c := range codecs {
+		var buf bytes.Buffer
+		if err := c.write(&buf, tr); err != nil {
+			t.Fatalf("%s: accepted trace cannot be re-encoded: %v", c.name, err)
+		}
+		again, err := c.read(&buf)
+		if err != nil {
+			t.Fatalf("%s: re-encoded trace rejected: %v", c.name, err)
 		}
 		if len(again.Ratings) != len(tr.Ratings) {
-			t.Fatalf("round trip changed size: %d != %d", len(again.Ratings), len(tr.Ratings))
+			t.Fatalf("%s: round trip changed size: %d != %d", c.name, len(again.Ratings), len(tr.Ratings))
 		}
 		for i := range again.Ratings {
 			if again.Ratings[i] != tr.Ratings[i] {
-				t.Fatalf("round trip changed rating %d", i)
+				t.Fatalf("%s: round trip changed rating %d", c.name, i)
 			}
 		}
-	})
+	}
 }
