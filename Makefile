@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench fuzz vet lint experiments ablations examples clean
+.PHONY: all build test race bench bench-save fuzz vet lint experiments ablations examples clean
 
 all: build vet lint test
 
@@ -24,6 +24,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Refresh the checked-in detector benchmark baseline. Runs the detection
+# hot-path benchmarks and stores name/ns_per_op/bytes_per_op/allocs_per_op
+# as JSON so perf regressions show up in review diffs.
+bench-save:
+	$(GO) test -run '^$$' -bench 'Detect' -benchmem ./internal/core/ \
+		| $(GO) run ./cmd/benchjson > BENCH_detect.json
 
 # Run every fuzz target under internal/trace for a short burst each; the
 # target list is discovered dynamically so new Fuzz* functions are picked

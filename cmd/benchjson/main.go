@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench -benchmem` text output into a
+// stable JSON document, so benchmark baselines can be checked in and
+// diffed (see `make bench-save`, which writes BENCH_detect.json).
+//
+// Usage:
+//
+//	go test -bench 'Detect' -benchmem ./internal/core/ | benchjson > BENCH_detect.json
+//
+// The output is a JSON array sorted by benchmark name, one object per
+// benchmark line:
+//
+//	[{"name": "BenchmarkBasicDetect200", "ns_per_op": 1234.5,
+//	  "bytes_per_op": 8304, "allocs_per_op": 14}, ...]
+//
+// Non-benchmark lines (goos/pkg headers, PASS/ok trailers) are ignored, so
+// the raw `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result.
+type Bench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	benches, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(benches)
+}
+
+// Parse reads `go test -bench` text output and returns the benchmark
+// results sorted by name. Lines that do not look like benchmark results
+// are skipped; malformed numeric fields on a benchmark line are an error.
+func Parse(in io.Reader) ([]Bench, error) {
+	var benches []Bench
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Layout: Name  N  ns/op-value ns/op  [B/op-value B/op]  [allocs-value allocs/op]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		b := Bench{Name: trimProcSuffix(fields[0])}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: ns/op: %w", line, err)
+		}
+		b.NsPerOp = ns
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %s: %w", line, fields[i+1], err)
+			}
+			switch fields[i+1] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		benches = append(benches, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(benches, func(i, j int) bool { return benches[i].Name < benches[j].Name })
+	return benches, nil
+}
+
+// trimProcSuffix drops the -N GOMAXPROCS suffix Go appends to benchmark
+// names, so baselines compare across machines with different core counts.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/p2psim/collusion/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkOptimizedDetect200-8   	   10000	    104567 ns/op	    8304 B/op	      14 allocs/op
+BenchmarkBasicDetect200-8       	     170	   6841234 ns/op	   45464 B/op	      12 allocs/op
+BenchmarkNoMem-8                	    5000	      2000 ns/op
+PASS
+ok  	github.com/p2psim/collusion/internal/core	12.345s
+`
+
+func TestParse(t *testing.T) {
+	benches, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(benches), benches)
+	}
+	// Sorted by name, GOMAXPROCS suffix stripped.
+	if benches[0].Name != "BenchmarkBasicDetect200" {
+		t.Fatalf("first bench = %q, want BenchmarkBasicDetect200", benches[0].Name)
+	}
+	if benches[0].NsPerOp != 6841234 || benches[0].BytesPerOp != 45464 || benches[0].AllocsPerOp != 12 {
+		t.Fatalf("BasicDetect200 = %+v", benches[0])
+	}
+	if benches[1].NsPerOp != 2000 || benches[1].BytesPerOp != 0 || benches[1].AllocsPerOp != 0 {
+		t.Fatalf("NoMem (no -benchmem fields) = %+v", benches[1])
+	}
+	if benches[2].Name != "BenchmarkOptimizedDetect200" || benches[2].AllocsPerOp != 14 {
+		t.Fatalf("OptimizedDetect200 = %+v", benches[2])
+	}
+}
+
+func TestParseMalformedNumber(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkX-4  10  abc ns/op\n"))
+	if err == nil {
+		t.Fatal("malformed ns/op accepted")
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	benches, err := Parse(strings.NewReader("PASS\nok x 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 0 {
+		t.Fatalf("parsed %d benchmarks from non-bench output", len(benches))
+	}
+}
+
+func TestRunEmitsJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{`"name": "BenchmarkBasicDetect200"`, `"ns_per_op": 6841234`, `"allocs_per_op": 12`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":        "BenchmarkX",
+		"BenchmarkX":          "BenchmarkX",
+		"BenchmarkX-foo":      "BenchmarkX-foo",
+		"BenchmarkSparse1000": "BenchmarkSparse1000",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-fig all|ablations|fig1a|...|fig13|ab-*] [-runs 5] [-seed 1] [-scale 1.0] [-out dir]
+//	experiments [-fig all|ablations|fig1a|...|fig13|ab-*] [-runs 5] [-seed 1] [-scale 1.0] [-workers 0] [-out dir]
 //
 // Examples:
 //
@@ -12,6 +12,7 @@
 //	experiments -fig all -out results/    # everything + CSVs
 //	experiments -fig ablations -runs 3    # the ablation studies
 //	experiments -fig fig13 -runs 1        # quick single-run pass
+//	experiments -fig fig12 -workers 4     # parallel engine, identical output
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"os"
 
 	"github.com/p2psim/collusion/internal/experiments"
+	"github.com/p2psim/collusion/internal/parallel"
 )
 
 func main() {
@@ -36,17 +38,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig   = fs.String("fig", "all", "figure to regenerate (all, ablations, fig1a-fig1d, fig4-fig13, ab-*)")
-		runs  = fs.Int("runs", 5, "simulation runs to average (the paper uses 5)")
-		seed  = fs.Uint64("seed", 1, "root random seed")
-		scale = fs.Float64("scale", 1.0, "synthetic-trace volume scale")
-		out   = fs.String("out", "", "directory for CSV export (empty: no files)")
+		fig     = fs.String("fig", "all", "figure to regenerate (all, ablations, fig1a-fig1d, fig4-fig13, ab-*)")
+		runs    = fs.Int("runs", 5, "simulation runs to average (the paper uses 5)")
+		seed    = fs.Uint64("seed", 1, "root random seed")
+		scale   = fs.Float64("scale", 1.0, "synthetic-trace volume scale")
+		workers = fs.Int("workers", 0, "worker goroutines for the parallel engine (0: GOMAXPROCS; output is identical for every value)")
+		out     = fs.String("out", "", "directory for CSV export (empty: no files)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := experiments.Options{Seed: *seed, Runs: *runs, Scale: *scale}
+	w := *workers
+	if w <= 0 {
+		w = parallel.DefaultWorkers()
+	}
+	opts := experiments.Options{Seed: *seed, Runs: *runs, Scale: *scale, Workers: w}
 	var tables []*experiments.Table
 	switch *fig {
 	case "all":

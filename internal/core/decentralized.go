@@ -539,11 +539,6 @@ func (mr *ManagerRing) addPair(res *Result, target, rater int, rt, rr *row) {
 		i, j = j, i
 		ri, rj = rr, rt
 	}
-	for _, e := range res.Pairs {
-		if e.I == i && e.J == j {
-			return
-		}
-	}
 	e := Evidence{I: i, J: j}
 	if ri != nil {
 		e.NIJ = ri.total[j]
@@ -557,9 +552,7 @@ func (mr *ManagerRing) addPair(res *Result, target, rater int, rt, rr *row) {
 			e.AJI = float64(rj.pos[i]) / float64(e.NJI)
 		}
 	}
-	res.Pairs = append(res.Pairs, e)
-	res.Flagged[i] = true
-	res.Flagged[j] = true
+	res.insertPair(e)
 }
 
 func (mr *ManagerRing) charge(name string, n int64) {

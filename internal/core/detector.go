@@ -23,6 +23,12 @@ type Result struct {
 	Pairs []Evidence
 	// Flagged[i] reports whether node i appears in any detected pair.
 	Flagged []bool
+
+	// pairSet indexes Pairs by normalized {I, J} so membership tests and
+	// dedup are O(1); the association sweep probes it inside its inner
+	// loop, which kept the old slice re-scan quadratic in the pair count.
+	// Lazily built, so zero-value and literal-constructed Results work.
+	pairSet map[[2]int]struct{}
 }
 
 // FlaggedNodes returns the indices of all flagged nodes, ascending.
@@ -41,12 +47,37 @@ func (r Result) HasPair(a, b int) bool {
 	if a > b {
 		a, b = b, a
 	}
+	if r.pairSet != nil {
+		_, ok := r.pairSet[[2]int{a, b}]
+		return ok
+	}
 	for _, e := range r.Pairs {
 		if e.I == a && e.J == b {
 			return true
 		}
 	}
 	return false
+}
+
+// insertPair appends e (already normalized to I < J) unless the pair is
+// already present, updating the pair index and flags. It reports whether
+// the pair was new.
+func (r *Result) insertPair(e Evidence) bool {
+	if r.pairSet == nil {
+		r.pairSet = make(map[[2]int]struct{}, len(r.Pairs)+1)
+		for _, p := range r.Pairs {
+			r.pairSet[[2]int{p.I, p.J}] = struct{}{}
+		}
+	}
+	key := [2]int{e.I, e.J}
+	if _, ok := r.pairSet[key]; ok {
+		return false
+	}
+	r.pairSet[key] = struct{}{}
+	r.Pairs = append(r.Pairs, e)
+	r.Flagged[e.I] = true
+	r.Flagged[e.J] = true
+	return true
 }
 
 // Detector is a collusion detection method operating on a period ledger.
@@ -87,45 +118,38 @@ func (b *Basic) Detect(l *reputation.Ledger) Result {
 }
 
 // DetectAmong implements Detector.
+//
+// The paper's method scans every element of each high-reputed node's
+// matrix row. Two facts let the implementation skip the dense walk while
+// charging the meter the paper's exact element-visit counts (so Figure 13
+// is unchanged and the dense-reference property test stays exact):
+//
+//   - Non-high elements are screened out with no further work, so their
+//     visits can be charged arithmetically: at row i, the dense scan
+//     touches the n-1 other columns minus the high pairs {j, i} with
+//     j < i already marked checked from row j.
+//   - Only unordered high pairs are examined, and each exactly once, so
+//     iterating high partners j > i in ascending order replaces both the
+//     column walk and the n×n checked bitset.
 func (b *Basic) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 	n := l.Size()
 	res := Result{Flagged: make([]bool, n)}
-	high := make([]bool, n)
-	for _, c := range candidates {
-		if c >= 0 && c < n {
-			high[c] = true
-		}
-	}
-	// checked is a flat bitset over normalized pairs (i < j): the O(mn²)
-	// inner loop probes it once per element, and a slice index is far
-	// cheaper there than map hashing, with one allocation up front.
-	checked := make([]bool, n*n)
+	highList := highCandidates(n, candidates)
 
-	// Scan rows top-down, elements left to right, as the paper describes.
-	for i := 0; i < n; i++ {
-		if !high[i] { // empty matrix row: node not high-reputed
-			continue
-		}
-		for j := 0; j < n; j++ {
-			if j == i {
-				continue
-			}
-			key := pairIndex(i, j, n)
-			if checked[key] {
-				continue
-			}
-			b.charge(metrics.CostPairCheck, 1)
-			b.charge(metrics.CostMatrixScan, 1) // visiting element a_ij
-			// C1 screen: only pairs of high-reputed nodes can collude
-			// profitably, so other raters are not examined further.
-			if !high[j] {
-				continue
-			}
-			checked[key] = true
-			// C2 on n_i: compute the outside positive share by re-scanning
-			// the matrix row. The unoptimized method pays this O(n) scan
-			// for every examined rater — the cost Proposition 4.1 counts
-			// and Formula (2) later eliminates.
+	// Scan high rows top-down, examining each unordered high pair at its
+	// first (lower-indexed) row, as the dense left-to-right scan does.
+	for idx, i := range highList {
+		// Dense row-scan accounting: every element a_ij except the idx
+		// already-checked high pairs from earlier rows.
+		visited := int64(n - 1 - idx)
+		b.charge(metrics.CostPairCheck, visited)
+		b.charge(metrics.CostMatrixScan, visited)
+		for _, j := range highList[idx+1:] {
+			// C2 on n_i: the outside positive share. The unoptimized
+			// method pays an O(n) row re-scan here for every examined
+			// rater — the cost Proposition 4.1 counts and Formula (2)
+			// later eliminates; we walk only n_i's active raters but
+			// charge the full dense re-scan.
 			outI := b.outsideLow(l, i, j)
 			// C4 + C3 forward screen: j rates i frequently and almost
 			// always positively.
@@ -162,21 +186,22 @@ func (b *Basic) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 	return res
 }
 
-// outsideLow re-scans the target's matrix row to compute b, the positive
-// share of every rating except the suspect rater's, and reports whether it
-// falls below Tb. This O(n) re-scan is exactly the step the optimized
-// method eliminates.
+// outsideLow computes b, the positive share of every rating the target
+// received except the suspect rater's, and reports whether it falls below
+// Tb. The paper's method re-scans the whole matrix row here — the step the
+// optimized method eliminates — and the meter is charged for that full
+// O(n) scan; the implementation only walks the target's active raters,
+// since zero columns contribute nothing to either sum.
 func (b *Basic) outsideLow(l *reputation.Ledger, target, rater int) bool {
-	n := l.Size()
 	othersTotal, othersPos := 0, 0
-	for k := 0; k < n; k++ {
-		if k == rater || k == target {
+	for _, k := range l.RatersOf(target) {
+		if int(k) == rater {
 			continue
 		}
-		othersTotal += l.PairTotal(target, k)
-		othersPos += l.PairPositive(target, k)
+		othersTotal += l.PairTotal(target, int(k))
+		othersPos += l.PairPositive(target, int(k))
 	}
-	b.charge(metrics.CostMatrixScan, int64(n))
+	b.charge(metrics.CostMatrixScan, int64(l.Size()))
 	if othersTotal == 0 {
 		// All of the target's reputation comes from the single rater —
 		// the most extreme form of the pattern.
@@ -215,37 +240,20 @@ func (o *Optimized) Detect(l *reputation.Ledger) Result {
 }
 
 // DetectAmong implements Detector.
+//
+// Same dense-scan accounting scheme as Basic.DetectAmong: non-high column
+// visits are charged arithmetically and only unordered high pairs are
+// examined, each once, in ascending row order.
 func (o *Optimized) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 	n := l.Size()
 	res := Result{Flagged: make([]bool, n)}
-	high := make([]bool, n)
-	for _, c := range candidates {
-		if c >= 0 && c < n {
-			high[c] = true
-		}
-	}
-	// Same flat bitset dedup as Basic.DetectAmong.
-	checked := make([]bool, n*n)
+	highList := highCandidates(n, candidates)
 
-	for i := 0; i < n; i++ {
-		if !high[i] {
-			continue
-		}
+	for idx, i := range highList {
 		ri := float64(l.SummationScore(i))
 		ni := l.TotalFor(i)
-		for j := 0; j < n; j++ {
-			if j == i {
-				continue
-			}
-			key := pairIndex(i, j, n)
-			if checked[key] {
-				continue
-			}
-			o.charge(metrics.CostPairCheck, 1)
-			if !high[j] {
-				continue
-			}
-			checked[key] = true
+		o.charge(metrics.CostPairCheck, int64(n-1-idx))
+		for _, j := range highList[idx+1:] {
 			nij, nji := l.PairTotal(i, j), l.PairTotal(j, i)
 			if nij < o.Thresholds.TN || nji < o.Thresholds.TN {
 				continue
@@ -297,24 +305,38 @@ func (o *Optimized) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 // Figure 11 scenario — their outside reputation is honestly earned, so no
 // reputation test can implicate them, but reciprocating a colluder's
 // rating flood can.
+// The sweep conceptually examines every unpaired column of each flagged
+// node's row, but a partner must satisfy n_(c,x) >= TN >= 1 (Thresholds.
+// Validate rejects smaller TN), so only c's active raters can qualify: the
+// loop walks the adjacency list and the remaining column visits are
+// charged in bulk. Detected pairs always have both directions >= TN, so
+// every already-paired partner is in the adjacency list and the bulk
+// charge (n-1 minus c's current pair count) matches the dense scan's
+// exactly.
 func associationSweep(l *reputation.Ledger, th Thresholds, res *Result, charge func(int64)) {
 	if th.StrictReverse {
 		return
 	}
 	n := l.Size()
 	queue := res.FlaggedNodes()
-	inQueue := make(map[int]bool, len(queue))
+	inQueue := make([]bool, n)
 	for _, c := range queue {
 		inQueue[c] = true
+	}
+	pairCount := make([]int, n)
+	for _, e := range res.Pairs {
+		pairCount[e.I]++
+		pairCount[e.J]++
 	}
 	for len(queue) > 0 {
 		c := queue[0]
 		queue = queue[1:]
-		for x := 0; x < n; x++ {
-			if x == c || res.HasPair(c, x) {
+		charge(int64(n - 1 - pairCount[c]))
+		for _, x32 := range l.RatersOf(c) {
+			x := int(x32)
+			if res.HasPair(c, x) {
 				continue
 			}
-			charge(1)
 			ncx, nxc := l.PairTotal(c, x), l.PairTotal(x, c)
 			if ncx < th.TN || nxc < th.TN {
 				continue
@@ -324,6 +346,8 @@ func associationSweep(l *reputation.Ledger, th Thresholds, res *Result, charge f
 				continue
 			}
 			res.addPair(l, c, x)
+			pairCount[c]++
+			pairCount[x]++
 			if !inQueue[x] {
 				inQueue[x] = true
 				queue = append(queue, x)
@@ -349,6 +373,24 @@ func summationCandidates(l *reputation.Ledger, tr float64) []int {
 	return out
 }
 
+// highCandidates normalizes a candidate list into ascending, deduplicated,
+// in-range node indices — the order the dense scan examines high rows in.
+func highCandidates(n int, candidates []int) []int {
+	high := make([]bool, n)
+	for _, c := range candidates {
+		if c >= 0 && c < n {
+			high[c] = true
+		}
+	}
+	out := make([]int, 0, len(candidates))
+	for i := 0; i < n; i++ {
+		if high[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // pairIndex maps the unordered pair {a, b} to its flat upper-triangular
 // slot a*n+b (after normalizing a < b) in an n*n bitset.
 func pairIndex(a, b, n int) int {
@@ -362,11 +404,6 @@ func (r *Result) addPair(l *reputation.Ledger, i, j int) {
 	if i > j {
 		i, j = j, i
 	}
-	for _, e := range r.Pairs {
-		if e.I == i && e.J == j {
-			return
-		}
-	}
 	e := Evidence{I: i, J: j, NIJ: l.PairTotal(i, j), NJI: l.PairTotal(j, i)}
 	if e.NIJ > 0 {
 		e.AIJ = float64(l.PairPositive(i, j)) / float64(e.NIJ)
@@ -374,9 +411,7 @@ func (r *Result) addPair(l *reputation.Ledger, i, j int) {
 	if e.NJI > 0 {
 		e.AJI = float64(l.PairPositive(j, i)) / float64(e.NJI)
 	}
-	r.Pairs = append(r.Pairs, e)
-	r.Flagged[i] = true
-	r.Flagged[j] = true
+	r.insertPair(e)
 }
 
 func (r *Result) sortPairs() {

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/p2psim/collusion/internal/reputation"
+	"github.com/p2psim/collusion/internal/rng"
+)
+
+// sparseBenchLedger models a large network where each node has rated only
+// a handful of peers — the regime where the adjacency-list hot path wins:
+// the dense reference visits all n-1 columns of a row while the sparse
+// detector walks ~avgDegree active raters (the cost meter still charges
+// the dense counts either way, so Figure 13 is unaffected).
+func sparseBenchLedger(n, avgDegree int) *reputation.Ledger {
+	l := reputation.NewLedger(n)
+	r := rng.New(7)
+	for k := 0; k < n*avgDegree; k++ {
+		i, j := r.Intn(n), r.Intn(n)
+		if i == j {
+			continue
+		}
+		pol := 1
+		if r.Bool(0.2) {
+			pol = -1
+		}
+		l.Record(i, j, pol)
+	}
+	// A few planted colluding pairs so the detection path does real work.
+	for p := 0; p < 4; p++ {
+		a, b := 10*p+1, 10*p+2
+		for k := 0; k < 30; k++ {
+			l.Record(a, b, 1)
+			l.Record(b, a, 1)
+		}
+	}
+	return l
+}
+
+// BenchmarkBasicDetectSparse1000 measures the production adjacency-list
+// Basic detector on a 1000-node sparse ledger.
+func BenchmarkBasicDetectSparse1000(b *testing.B) {
+	l := sparseBenchLedger(1000, 8)
+	d := NewBasic(DefaultThresholds())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Detect(l)
+	}
+}
+
+// BenchmarkBasicDetectDense1000 is the pre-change dense-scan baseline on
+// the identical ledger, for a direct sparse-vs-dense comparison.
+func BenchmarkBasicDetectDense1000(b *testing.B) {
+	l := sparseBenchLedger(1000, 8)
+	th := DefaultThresholds()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		denseBasicDetectAmong(th, nil, l, summationCandidates(l, th.TR))
+	}
+}
+
+// BenchmarkOptimizedDetectSparse1000 and its dense baseline cover the
+// Formula (2) detector in the same sparse regime.
+func BenchmarkOptimizedDetectSparse1000(b *testing.B) {
+	l := sparseBenchLedger(1000, 8)
+	d := NewOptimized(DefaultThresholds())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Detect(l)
+	}
+}
+
+func BenchmarkOptimizedDetectDense1000(b *testing.B) {
+	l := sparseBenchLedger(1000, 8)
+	th := DefaultThresholds()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		denseOptimizedDetectAmong(th, nil, l, summationCandidates(l, th.TR))
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWorkersByteIdenticalArtifacts is the acceptance gate of the parallel
+// experiment engine: the same figure run with Workers=1 and Workers=4 must
+// render byte-identical text AND write byte-identical CSV files. It covers
+// one per-run-fanned figure (Fig8, which also fans per-detector cells) and
+// the two per-cell-fanned grids (Fig12 and Fig13, the cost figure whose
+// meter totals must not depend on scheduling).
+func TestWorkersByteIdenticalArtifacts(t *testing.T) {
+	figures := []struct {
+		name string
+		fn   func(Options) (*Table, error)
+	}{
+		{"fig8", Fig8},
+		{"fig12", Fig12},
+		{"fig13", Fig13},
+	}
+	for _, fig := range figures {
+		fig := fig
+		t.Run(fig.name, func(t *testing.T) {
+			t.Parallel()
+			render := func(workers int) (string, []byte) {
+				opts := quickOpts()
+				opts.Runs = 2 // exercise the per-run fan-out too
+				opts.Workers = workers
+				tab, err := fig.fn(opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				var buf bytes.Buffer
+				if err := tab.Render(&buf); err != nil {
+					t.Fatal(err)
+				}
+				dir := t.TempDir()
+				if err := tab.WriteCSV(filepath.Join(dir, tab.ID+".csv")); err != nil {
+					t.Fatal(err)
+				}
+				csv, err := os.ReadFile(filepath.Join(dir, tab.ID+".csv"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return buf.String(), csv
+			}
+			seqText, seqCSV := render(1)
+			parText, parCSV := render(4)
+			if seqText != parText {
+				t.Errorf("rendered table differs between workers=1 and workers=4:\n--- workers=1 ---\n%s--- workers=4 ---\n%s",
+					seqText, parText)
+			}
+			if !bytes.Equal(seqCSV, parCSV) {
+				t.Errorf("CSV bytes differ between workers=1 and workers=4:\n--- workers=1 ---\n%s--- workers=4 ---\n%s",
+					seqCSV, parCSV)
+			}
+		})
+	}
+}
+
+// TestRunAveragedParallelMatchesSequential pins the simulator-level fan-out
+// via a reputation figure: Workers only changes scheduling, never values.
+func TestWorkersByteIdenticalReputationFigure(t *testing.T) {
+	render := func(workers int) string {
+		opts := quickOpts()
+		opts.Runs = 3
+		opts.Workers = workers
+		tab, err := Fig5(opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tab.String()
+	}
+	if seq, par := render(1), render(3); seq != par {
+		t.Errorf("fig5 differs between workers=1 and workers=3:\n--- workers=1 ---\n%s--- workers=3 ---\n%s", seq, par)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/p2psim/collusion/internal/core"
 	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/parallel"
 	"github.com/p2psim/collusion/internal/simulator"
 	"github.com/p2psim/collusion/internal/stats"
 )
@@ -17,7 +18,8 @@ func defaultSimThresholds() core.Thresholds { return simulator.SimThresholds() }
 func reputationFigure(id, title string, cfg simulator.Config, opts Options, notes ...string) (*Table, error) {
 	opts = opts.normalized()
 	cfg.Seed = opts.Seed
-	avg, err := simulator.RunAveraged(cfg, opts.Runs)
+	cfg.Workers = opts.Workers
+	avg, err := simulator.RunAveragedParallel(cfg, opts.Runs, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -126,15 +128,24 @@ func Fig8(opts Options) (*Table, error) {
 	base.Engine = simulator.EngineSummation
 	base.Seed = opts.Seed
 
-	results := map[simulator.DetectorKind]*simulator.AveragedResult{}
-	for _, det := range []simulator.DetectorKind{simulator.DetectorBasic, simulator.DetectorOptimized} {
+	// One cell per detector kind; cells run concurrently and land in
+	// index-ordered slots, so the table is identical for every Workers.
+	kinds := []simulator.DetectorKind{simulator.DetectorBasic, simulator.DetectorOptimized}
+	avgs := make([]*simulator.AveragedResult, len(kinds))
+	errs := make([]error, len(kinds))
+	parallel.ForEach(opts.Workers, len(kinds), func(c int) {
 		cfg := base
-		cfg.Detector = det
-		avg, err := simulator.RunAveraged(cfg, opts.Runs)
+		cfg.Detector = kinds[c]
+		avgs[c], errs[c] = simulator.RunAveragedParallel(cfg, opts.Runs, opts.Workers)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		results[det] = avg
+	}
+	results := map[simulator.DetectorKind]*simulator.AveragedResult{}
+	for c, det := range kinds {
+		results[det] = avgs[c]
 	}
 	t := &Table{
 		ID:     "fig8",
@@ -222,21 +233,38 @@ func Fig12(opts Options) (*Table, error) {
 			"shape: EigenTrust's share rises sharply with colluder count; both detectors stay low, flat and equal",
 		},
 	}
-	for _, nc := range counts {
+	// Flatten the counts × detectors grid into cells. Each cell is fully
+	// determined by (Seed, colluder count, detector) — never by which
+	// goroutine claims it — and the rows are assembled from the cell slice
+	// in count order, so the table is byte-identical for every Workers.
+	kinds := []simulator.DetectorKind{
+		simulator.DetectorNone, simulator.DetectorBasic, simulator.DetectorOptimized,
+	}
+	shares := make([]float64, len(counts)*len(kinds))
+	errs := make([]error, len(shares))
+	parallel.ForEach(opts.Workers, len(shares), func(c int) {
+		nc, det := counts[c/len(kinds)], kinds[c%len(kinds)]
+		cfg := simulator.DefaultConfig()
+		cfg.Seed = opts.Seed
+		cfg.ColluderGoodProb = 0.2
+		cfg.Colluders = colluderSet(nc)
+		cfg.Detector = det
+		avg, err := simulator.RunAveragedParallel(cfg, opts.Runs, opts.Workers)
+		if err != nil {
+			errs[c] = err
+			return
+		}
+		shares[c] = avg.PercentToColluders
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for ci, nc := range counts {
 		row := []any{nc}
-		for _, det := range []simulator.DetectorKind{
-			simulator.DetectorNone, simulator.DetectorBasic, simulator.DetectorOptimized,
-		} {
-			cfg := simulator.DefaultConfig()
-			cfg.Seed = opts.Seed
-			cfg.ColluderGoodProb = 0.2
-			cfg.Colluders = colluderSet(nc)
-			cfg.Detector = det
-			avg, err := simulator.RunAveraged(cfg, opts.Runs)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, avg.PercentToColluders)
+		for ki := range kinds {
+			row = append(row, shares[ci*len(kinds)+ki])
 		}
 		t.AddRow(row...)
 	}
@@ -262,45 +290,54 @@ func Fig13(opts Options) (*Table, error) {
 			"shape: Unoptimized >> EigenTrust > Optimized; EigenTrust flat in colluder count",
 		},
 	}
-	for _, nc := range counts {
-		costs := map[string]int64{}
-		// EigenTrust cost: the recursive matrix calculation's
-		// multiply-adds, measured on a bare power-iteration run (the cost
-		// model the paper describes for EigenTrust).
-		{
-			var meter metrics.CostMeter
-			cfg := simulator.DefaultConfig()
-			cfg.Seed = opts.Seed
-			cfg.ColluderGoodProb = 0.2
-			cfg.Colluders = colluderSet(nc)
-			cfg.Meter = &meter
-			if _, err := simulator.Run(cfg); err != nil {
-				return nil, err
-			}
-			costs["eigentrust"] = meter.Get(metrics.CostEigenMulAdd)
-		}
-		// Detector costs: the detector counters, measured on summation
-		// runs so the engine does not contribute.
-		for det, name := range map[simulator.DetectorKind]string{
-			simulator.DetectorBasic:     "unoptimized",
-			simulator.DetectorOptimized: "optimized",
-		} {
-			var meter metrics.CostMeter
-			cfg := simulator.DefaultConfig()
-			cfg.Seed = opts.Seed
-			cfg.ColluderGoodProb = 0.2
-			cfg.Colluders = colluderSet(nc)
+	// Flatten the counts × methods grid into cells, each with its own
+	// fresh meter so concurrent cells never share counters. Cell outputs
+	// land in index-ordered slots and the rows are assembled in count
+	// order, so the table is byte-identical for every Workers.
+	const methods = 3 // eigentrust, unoptimized, optimized
+	costs := make([]int64, len(counts)*methods)
+	errs := make([]error, len(costs))
+	parallel.ForEach(opts.Workers, len(costs), func(c int) {
+		nc, method := counts[c/methods], c%methods
+		var meter metrics.CostMeter
+		cfg := simulator.DefaultConfig()
+		cfg.Seed = opts.Seed
+		cfg.ColluderGoodProb = 0.2
+		cfg.Colluders = colluderSet(nc)
+		cfg.Meter = &meter
+		switch method {
+		case 0:
+			// EigenTrust cost: the recursive matrix calculation's
+			// multiply-adds, measured on a bare power-iteration run (the
+			// cost model the paper describes for EigenTrust).
+		case 1:
+			// Detector costs: the detector counters, measured on summation
+			// runs so the engine does not contribute.
 			cfg.Engine = simulator.EngineSummation
-			cfg.Detector = det
-			cfg.Meter = &meter
-			if _, err := simulator.Run(cfg); err != nil {
-				return nil, err
-			}
-			costs[name] = meter.Get(metrics.CostMatrixScan) +
-				meter.Get(metrics.CostBoundCheck) +
-				meter.Get(metrics.CostPairCheck)
+			cfg.Detector = simulator.DetectorBasic
+		case 2:
+			cfg.Engine = simulator.EngineSummation
+			cfg.Detector = simulator.DetectorOptimized
 		}
-		t.AddRow(nc, costs["eigentrust"], costs["unoptimized"], costs["optimized"])
+		if _, err := simulator.Run(cfg); err != nil {
+			errs[c] = err
+			return
+		}
+		if method == 0 {
+			costs[c] = meter.Get(metrics.CostEigenMulAdd)
+			return
+		}
+		costs[c] = meter.Get(metrics.CostMatrixScan) +
+			meter.Get(metrics.CostBoundCheck) +
+			meter.Get(metrics.CostPairCheck)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for ci, nc := range counts {
+		t.AddRow(nc, costs[ci*methods], costs[ci*methods+1], costs[ci*methods+2])
 	}
 	return t, nil
 }

@@ -158,6 +158,13 @@ type Options struct {
 	// ColluderCounts overrides the x-axis of Figures 12 and 13
 	// (default {8, 18, 28, 38, 48, 58}).
 	ColluderCounts []int
+	// Workers bounds the goroutines used by the parallel experiment
+	// engine: averaged runs fan per-run, Figures 8, 12 and 13 fan
+	// per-cell, and the EigenTrust engine splits its power iteration.
+	// Values <= 1 run sequentially. Every worker count produces
+	// byte-identical artifacts: cell RNG seeds derive only from Seed and
+	// the cell index, and reductions walk cells in index order.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper's averaging (5 runs).
@@ -174,6 +181,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	return o
 }

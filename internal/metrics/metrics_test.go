@@ -101,6 +101,55 @@ func TestConcurrentAdds(t *testing.T) {
 	}
 }
 
+// TestConcurrentMixedHammer drives every CostMeter method at once — lazy
+// counter creation, reads, totals, resets, and snapshots — so `go test
+// -race` certifies the meter for the parallel experiment engine, where one
+// meter is shared by the figure harness and its worker goroutines.
+func TestConcurrentMixedHammer(t *testing.T) {
+	var m CostMeter
+	names := []string{CostMatrixScan, CostBoundCheck, CostPairCheck,
+		CostEigenMulAdd, CostDHTMessage, CostManagerMessage}
+	const workers = 8
+	const steps = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < steps; i++ {
+				name := names[(w+i)%len(names)]
+				switch i % 6 {
+				case 0:
+					m.Inc(name)
+				case 1:
+					m.Add(name, int64(i%7))
+				case 2:
+					_ = m.Get(name)
+				case 3:
+					_ = m.Total()
+				case 4:
+					_ = m.Snapshot()
+				case 5:
+					_ = m.String()
+				}
+			}
+		}(w)
+	}
+	// One goroutine resets concurrently: the hammer asserts absence of
+	// data races and torn reads, not a particular final count.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			m.Reset()
+		}
+	}()
+	wg.Wait()
+	if m.Total() < 0 {
+		t.Fatalf("Total went negative: %d", m.Total())
+	}
+}
+
 func BenchmarkInc(b *testing.B) {
 	var m CostMeter
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,110 @@
+// Package parallel provides the deterministic fan-out primitives the
+// experiment engine and the reputation engines build on.
+//
+// Parallelism in this repository must never change results: every figure
+// artifact has to be byte-identical whatever the worker count, because the
+// experiments are the reproduction's ground truth. The package therefore
+// offers only primitives whose outputs are independent of scheduling:
+//
+//   - ForEach runs index-addressed tasks on a bounded worker pool. Tasks
+//     write into caller-owned, index-disjoint slots, so the caller merges
+//     results in deterministic index order afterwards ("ordered
+//     reduction").
+//   - Blocks partitions [0, n) into contiguous chunks with boundaries that
+//     depend only on n and the chunk count ("fixed partition boundaries"),
+//     for data-parallel loops over disjoint ranges.
+//
+// Neither primitive exposes worker identity to the task, so no computation
+// can accidentally key behavior (seeding, ordering) off the scheduler.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker count used when a caller asks for
+// automatic sizing: the current GOMAXPROCS setting.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(0), fn(1), ..., fn(n-1) across at most workers
+// goroutines and returns when all calls have completed. With workers <= 1
+// (or n <= 1) it degenerates to a plain sequential loop on the calling
+// goroutine, so the sequential and parallel paths execute the same task
+// bodies.
+//
+// Tasks are claimed from an atomic counter, so the assignment of index to
+// goroutine is scheduling-dependent; fn must not derive any output from
+// which goroutine ran it. A panic in any task is re-raised on the calling
+// goroutine after all workers have stopped.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[panicValue]
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &panicValue{value: r})
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if pv := panicked.Load(); pv != nil {
+		panic(pv.value)
+	}
+}
+
+// panicValue boxes a recovered panic so it can cross goroutines through an
+// atomic pointer.
+type panicValue struct{ value any }
+
+// Blocks splits [0, n) into blocks contiguous chunks and runs fn(lo, hi)
+// for each chunk, using up to the same number of goroutines. Chunk
+// boundaries are the fixed values lo = w*n/blocks, hi = (w+1)*n/blocks —
+// they depend only on n and blocks, never on scheduling — so a computation
+// that is deterministic per chunk stays deterministic overall.
+func Blocks(blocks, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if blocks > n {
+		blocks = n
+	}
+	if blocks <= 1 {
+		fn(0, n)
+		return
+	}
+	ForEach(blocks, blocks, func(w int) {
+		lo := w * n / blocks
+		hi := (w + 1) * n / blocks
+		if lo < hi {
+			fn(lo, hi)
+		}
+	})
+}

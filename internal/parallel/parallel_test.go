@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		ForEach(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	ran := 0
+	ForEach(8, 0, func(int) { ran++ })
+	if ran != 0 {
+		t.Fatalf("n=0 ran %d tasks", ran)
+	}
+	ForEach(8, 1, func(i int) { ran += i + 1 })
+	if ran != 1 {
+		t.Fatalf("n=1 ran wrong tasks: %d", ran)
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	// workers <= 1 must run in index order on the calling goroutine.
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	ForEach(4, 16, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+	t.Fatal("panic did not propagate")
+}
+
+func TestBlocksPartition(t *testing.T) {
+	for _, blocks := range []int{1, 2, 3, 7, 64} {
+		const n = 41
+		covered := make([]atomic.Int32, n)
+		Blocks(blocks, n, func(lo, hi int) {
+			if lo >= hi {
+				t.Errorf("blocks=%d: empty chunk [%d,%d)", blocks, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+			}
+		})
+		for i := range covered {
+			if got := covered[i].Load(); got != 1 {
+				t.Fatalf("blocks=%d: index %d covered %d times", blocks, i, got)
+			}
+		}
+	}
+}
+
+func TestBlocksBoundariesFixed(t *testing.T) {
+	// The chunk boundaries must be a pure function of (blocks, n).
+	collect := func() [][2]int {
+		var mu [64][2]int
+		idx := atomic.Int32{}
+		Blocks(4, 100, func(lo, hi int) {
+			i := idx.Add(1) - 1
+			mu[i] = [2]int{lo, hi}
+		})
+		out := mu[:idx.Load()]
+		// Sort by lo for comparison (chunk completion order is scheduling-
+		// dependent, the boundary set is not).
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j][0] < out[j-1][0]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		return append([][2]int(nil), out...)
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("boundaries differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/parallel"
 )
 
 // EigenTrust implements the algorithm of Kamvar, Schlosser and
@@ -37,6 +38,15 @@ type EigenTrust struct {
 	// MaxIter bounds the power iteration. The zero value selects
 	// DefaultMaxIter.
 	MaxIter int
+	// Workers sets the number of goroutines used to build the trust matrix
+	// and to run each power-iteration multiply. Values <= 1 select the
+	// sequential path. The parallel path is bit-identical to the sequential
+	// one for every worker count: the matrix rows are independent, and the
+	// multiply is partitioned over output columns with fixed boundaries, so
+	// each next[j] accumulates over rows i in the same ascending order as
+	// the sequential loop; the damping and convergence pass stays on the
+	// calling goroutine.
+	Workers int
 	// Meter, if non-nil, accumulates the iteration cost.
 	Meter *metrics.CostMeter
 
@@ -84,33 +94,40 @@ func (e *EigenTrust) Scores(l *Ledger) []float64 {
 	n := l.Size()
 	alpha, eps, maxIter := e.params()
 	p := e.pretrustVector(n)
+	workers := e.Workers
+	if workers < 1 {
+		workers = 1
+	}
 
 	// Build the normalized local trust matrix C row-major: c[i][j] is how
-	// much rater i trusts node j.
+	// much rater i trusts node j. Rows are independent, so building them in
+	// parallel blocks produces the exact same floats as the sequential loop.
 	c := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		row := make([]float64, n)
-		sum := 0.0
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
+	parallel.Blocks(workers, n, func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			row := make([]float64, n)
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if s := l.LocalTrust(i, j); s > 0 {
+					row[j] = float64(s)
+					sum += float64(s)
+				}
 			}
-			if s := l.LocalTrust(i, j); s > 0 {
-				row[j] = float64(s)
-				sum += float64(s)
+			if sum == 0 {
+				// A peer with no positive experience defers to the pretrust
+				// distribution, as in the original algorithm.
+				copy(row, p)
+			} else {
+				for j := range row {
+					row[j] /= sum
+				}
 			}
+			c[i] = row
 		}
-		if sum == 0 {
-			// A peer with no positive experience defers to the pretrust
-			// distribution, as in the original algorithm.
-			copy(row, p)
-		} else {
-			for j := range row {
-				row[j] /= sum
-			}
-		}
-		c[i] = row
-	}
+	})
 
 	// Damped power iteration: t ← (1−α)·Cᵀt + α·p.
 	t := append([]float64(nil), p...)
@@ -118,6 +135,35 @@ func (e *EigenTrust) Scores(l *Ledger) []float64 {
 	e.iterations = 0
 	for iter := 0; iter < maxIter; iter++ {
 		e.iterations++
+		e.multiply(c, t, next, workers)
+		if e.Meter != nil {
+			e.Meter.Add(metrics.CostEigenMulAdd, int64(n)*int64(n))
+		}
+		// Damping and the convergence test stay on the calling goroutine:
+		// they are O(n), and keeping their single left-to-right float
+		// accumulation chain guarantees the iteration count — and therefore
+		// the returned scores — cannot depend on the worker count.
+		delta := 0.0
+		for j := 0; j < n; j++ {
+			next[j] = (1-alpha)*next[j] + alpha*p[j]
+			delta += math.Abs(next[j] - t[j])
+		}
+		t, next = next, t
+		if delta < eps {
+			break
+		}
+	}
+	return t
+}
+
+// multiply computes next = Cᵀt. The parallel path partitions the output
+// columns into fixed contiguous blocks; each worker accumulates its
+// next[j] over rows i in ascending order — the identical float-addition
+// chain the sequential loop performs for that j — so the result is
+// bit-identical for every worker count.
+func (e *EigenTrust) multiply(c [][]float64, t, next []float64, workers int) {
+	n := len(t)
+	if workers <= 1 {
 		for j := range next {
 			next[j] = 0
 		}
@@ -131,20 +177,23 @@ func (e *EigenTrust) Scores(l *Ledger) []float64 {
 				next[j] += row[j] * ti
 			}
 		}
-		if e.Meter != nil {
-			e.Meter.Add(metrics.CostEigenMulAdd, int64(n)*int64(n))
-		}
-		delta := 0.0
-		for j := 0; j < n; j++ {
-			next[j] = (1-alpha)*next[j] + alpha*p[j]
-			delta += math.Abs(next[j] - t[j])
-		}
-		t, next = next, t
-		if delta < eps {
-			break
-		}
+		return
 	}
-	return t
+	parallel.Blocks(workers, n, func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			ti := t[i]
+			if ti == 0 {
+				continue
+			}
+			row := c[i]
+			for j := jlo; j < jhi; j++ {
+				next[j] += row[j] * ti
+			}
+		}
+	})
 }
 
 // pretrustVector returns p: uniform over pretrusted peers, or uniform over

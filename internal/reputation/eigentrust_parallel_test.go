@@ -1,0 +1,94 @@
+package reputation
+
+import (
+	"testing"
+
+	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/rng"
+)
+
+// randomTrustLedger builds a ledger with a mix of positive and negative
+// ratings, including rows with no positive experience (pretrust fallback)
+// and zero-score nodes.
+func randomTrustLedger(seed uint64, n, ratings int) *Ledger {
+	r := rng.New(seed).Child("eigentrust-parallel")
+	l := NewLedger(n)
+	for k := 0; k < ratings; k++ {
+		i, j := r.Intn(n), r.Intn(n)
+		if i == j {
+			continue
+		}
+		pol := 1
+		if r.Bool(0.3) {
+			pol = -1
+		}
+		l.Record(i, j, pol)
+	}
+	return l
+}
+
+// TestEigenTrustWorkersBitIdentical pins the tentpole determinism claim:
+// the row-partitioned parallel power iteration returns bit-identical
+// scores, the same iteration count, and the same metered cost as the
+// sequential path, for every worker count.
+func TestEigenTrustWorkersBitIdentical(t *testing.T) {
+	for _, n := range []int{1, 7, 50, 128} {
+		l := randomTrustLedger(uint64(n), n, n*20)
+		var seqMeter metrics.CostMeter
+		seq := NewEigenTrust([]int{0, 1, 2})
+		seq.Meter = &seqMeter
+		want := seq.Scores(l)
+		wantIters := seq.Iterations()
+
+		for _, workers := range []int{2, 3, 4, 16, 100} {
+			var meter metrics.CostMeter
+			par := NewEigenTrust([]int{0, 1, 2})
+			par.Workers = workers
+			par.Meter = &meter
+			got := par.Scores(l)
+			if par.Iterations() != wantIters {
+				t.Fatalf("n=%d workers=%d: %d iterations, sequential did %d",
+					n, workers, par.Iterations(), wantIters)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("n=%d workers=%d: score[%d] = %v, sequential %v (must be bit-identical)",
+						n, workers, j, got[j], want[j])
+				}
+			}
+			if got, want := meter.Total(), seqMeter.Total(); got != want {
+				t.Fatalf("n=%d workers=%d: metered cost %d, sequential %d", n, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestEigenTrustWorkersStillADistribution(t *testing.T) {
+	l := randomTrustLedger(9, 40, 800)
+	e := NewEigenTrust([]int{0})
+	e.Workers = 8
+	if err := CheckDistribution(e.Scores(l), 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEigenTrustScores200(b *testing.B) {
+	l := randomTrustLedger(1, 200, 200*60)
+	e := NewEigenTrust([]int{0, 1, 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Scores(l)
+	}
+}
+
+func BenchmarkEigenTrustScores200Workers(b *testing.B) {
+	l := randomTrustLedger(1, 200, 200*60)
+	e := NewEigenTrust([]int{0, 1, 2})
+	e.Workers = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Scores(l)
+	}
+}

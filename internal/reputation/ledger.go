@@ -31,6 +31,14 @@ type Ledger struct {
 	recvPos   []int64
 	recvNeg   []int64
 	sentTotal []int64 // outgoing ratings per rater
+
+	// raters[target] lists, in ascending order, every rater j with
+	// N_(target,j) > 0 — the target's active-rater adjacency. Detection
+	// inner loops iterate these lists instead of scanning all n columns,
+	// which is what makes the hot path cost proportional to the number of
+	// nonzero pairs (the matrix is ~1 rating/pair-year sparse in the
+	// paper's traces, characteristic C4).
+	raters [][]int32
 }
 
 // NewLedger creates an empty ledger for n nodes. It panics if n <= 0.
@@ -47,6 +55,7 @@ func NewLedger(n int) *Ledger {
 		recvPos:   make([]int64, n),
 		recvNeg:   make([]int64, n),
 		sentTotal: make([]int64, n),
+		raters:    make([][]int32, n),
 	}
 }
 
@@ -67,6 +76,9 @@ func (l *Ledger) Record(rater, target, polarity int) {
 		panic(fmt.Sprintf("reputation: polarity %d, want -1, 0 or 1", polarity))
 	}
 	idx := target*l.n + rater
+	if l.total[idx] == 0 {
+		l.insertRater(target, int32(rater))
+	}
 	l.total[idx]++
 	l.recvTotal[target]++
 	l.sentTotal[rater]++
@@ -80,6 +92,34 @@ func (l *Ledger) Record(rater, target, polarity int) {
 	}
 }
 
+// insertRater adds rater to target's adjacency list, keeping it sorted
+// ascending. Lists stay short on sparse workloads, so the shifting insert
+// is cheap; the binary search keeps the common repeat-rating case O(log k).
+func (l *Ledger) insertRater(target int, rater int32) {
+	rs := l.raters[target]
+	lo, hi := 0, len(rs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rs[mid] < rater {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	rs = append(rs, 0)
+	copy(rs[lo+1:], rs[lo:])
+	rs[lo] = rater
+	l.raters[target] = rs
+}
+
+// RatersOf returns the ascending indices of every rater that has rated
+// target at least once this period: exactly the j with PairTotal(target, j)
+// > 0. The returned slice is a live view into the ledger — callers must
+// not modify it, and it is invalidated by the next Record, Merge or Reset.
+func (l *Ledger) RatersOf(target int) []int32 {
+	return l.raters[target]
+}
+
 // Reset clears the ledger for a new period T.
 func (l *Ledger) Reset() {
 	clearInt32(l.total)
@@ -89,6 +129,9 @@ func (l *Ledger) Reset() {
 	clearInt64(l.recvPos)
 	clearInt64(l.recvNeg)
 	clearInt64(l.sentTotal)
+	for i := range l.raters {
+		l.raters[i] = l.raters[i][:0]
+	}
 }
 
 func clearInt32(xs []int32) {
@@ -168,6 +211,9 @@ func (l *Ledger) Clone() *Ledger {
 	copy(c.recvPos, l.recvPos)
 	copy(c.recvNeg, l.recvNeg)
 	copy(c.sentTotal, l.sentTotal)
+	for i, rs := range l.raters {
+		c.raters[i] = append([]int32(nil), rs...)
+	}
 	return c
 }
 
@@ -187,6 +233,37 @@ func (l *Ledger) Merge(other *Ledger) error {
 		l.recvPos[i] += other.recvPos[i]
 		l.recvNeg[i] += other.recvNeg[i]
 		l.sentTotal[i] += other.sentTotal[i]
+		l.raters[i] = mergeSorted(l.raters[i], other.raters[i])
 	}
 	return nil
+}
+
+// mergeSorted unions two ascending rater lists. It returns a in place when
+// b contributes nothing new.
+func mergeSorted(a, b []int32) []int32 {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append(a, b...)
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }

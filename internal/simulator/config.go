@@ -176,6 +176,12 @@ type Config struct {
 	// Thresholds parameterize the detector; zero value selects
 	// core.DefaultThresholds.
 	Thresholds core.Thresholds
+	// Workers sets the number of goroutines used by the parallelizable
+	// stages inside a run — currently the EigenTrust matrix build and
+	// power-iteration multiply. Values <= 1 select the sequential paths.
+	// Every worker count produces bit-identical results; see the
+	// reputation.EigenTrust.Workers documentation for why.
+	Workers int
 	// Meter, if non-nil, accumulates operation costs across the run.
 	Meter *metrics.CostMeter
 	// OnCycle, if non-nil, observes the simulation after every cycle's

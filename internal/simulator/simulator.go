@@ -5,6 +5,7 @@ import (
 
 	"github.com/p2psim/collusion/internal/core"
 	"github.com/p2psim/collusion/internal/overlay"
+	"github.com/p2psim/collusion/internal/parallel"
 	"github.com/p2psim/collusion/internal/reputation"
 	"github.com/p2psim/collusion/internal/rng"
 )
@@ -207,6 +208,7 @@ func newState(cfg Config) (*state, error) {
 	default:
 		et := reputation.NewEigenTrust(cfg.Pretrusted)
 		et.Alpha = cfg.EigenTrustAlpha
+		et.Workers = cfg.Workers
 		// Server selection only needs score ordering, so the iteration can
 		// stop at modest precision — the paper notes the matrix "normally
 		// can converge within several iterations".
@@ -510,8 +512,35 @@ type AveragedResult struct {
 // RunAveraged executes runs simulations with distinct seeds and averages
 // the per-node scores and request shares.
 func RunAveraged(cfg Config, runs int) (*AveragedResult, error) {
+	return RunAveragedParallel(cfg, runs, 1)
+}
+
+// RunAveragedParallel is RunAveraged with the runs fanned across at most
+// workers goroutines. It is bit-identical to the sequential path for every
+// worker count: run k seeds its RNG from cfg.Seed and k alone (never from
+// goroutine identity), each run accumulates into its own slot of a results
+// slice, and the reduction walks the slots in run order, so every float
+// addition happens in the same order as the sequential loop. When
+// cfg.OnCycle or cfg.OnRating observers are attached the runs execute
+// sequentially, since observers are not required to be concurrency-safe.
+func RunAveragedParallel(cfg Config, runs, workers int) (*AveragedResult, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("simulator: runs = %d, want >= 1", runs)
+	}
+	if cfg.OnCycle != nil || cfg.OnRating != nil {
+		workers = 1
+	}
+	results := make([]*Result, runs)
+	errs := make([]error, runs)
+	parallel.ForEach(workers, runs, func(k int) {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + uint64(k)*0x9e3779b97f4a7c15
+		results[k], errs[k] = Run(runCfg)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	n := cfg.Overlay.Nodes
 	avg := &AveragedResult{
@@ -519,13 +548,7 @@ func RunAveraged(cfg Config, runs int) (*AveragedResult, error) {
 		FlagRate: make([]float64, n),
 		Runs:     runs,
 	}
-	for k := 0; k < runs; k++ {
-		runCfg := cfg
-		runCfg.Seed = cfg.Seed + uint64(k)*0x9e3779b97f4a7c15
-		res, err := Run(runCfg)
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results {
 		for i, sc := range res.Scores {
 			avg.Scores[i] += sc
 			if res.Flagged[i] {
