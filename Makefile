@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench bench-save fuzz vet lint experiments ablations examples clean
+.PHONY: all build test race bench bench-save bench-compare cover fuzz vet lint experiments ablations examples clean
 
 all: build vet lint test
 
@@ -32,6 +32,22 @@ bench-save:
 	$(GO) test -run '^$$' -bench 'Detect' -benchmem ./internal/core/ \
 		| $(GO) run ./cmd/benchjson > BENCH_detect.json
 
+# Gate the detection hot path against the checked-in baseline: fail on
+# any benchmark more than 20% slower than BENCH_detect.json.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'Detect' -benchmem ./internal/core/ \
+		| $(GO) run ./cmd/benchjson > bench_new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_detect.json bench_new.json
+
+# Coverage gate for the observability layer: the canonical trace encoding
+# and metric exporters underpin byte-identical replays, so they must stay
+# tested (>= 70% of statements).
+cover:
+	$(GO) test -coverprofile=cover_obs.out ./internal/obs/...
+	@total=$$($(GO) tool cover -func=cover_obs.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	echo "internal/obs coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { if (t + 0 < 70) { print "coverage below 70%"; exit 1 } }'
+
 # Run every fuzz target under internal/trace for a short burst each; the
 # target list is discovered dynamically so new Fuzz* functions are picked
 # up automatically.
@@ -58,4 +74,4 @@ examples:
 	$(GO) run ./examples/groupcollusion
 
 clean:
-	rm -rf results test_output.txt bench_output.txt
+	rm -rf results test_output.txt bench_output.txt bench_new.json cover_obs.out

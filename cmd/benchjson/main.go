@@ -14,11 +14,21 @@
 //
 // Non-benchmark lines (goos/pkg headers, PASS/ok trailers) are ignored, so
 // the raw `go test` stream can be piped in unfiltered.
+//
+// Compare mode gates CI on regressions against a checked-in baseline:
+//
+//	benchjson -compare BENCH_detect.json new.json
+//
+// It exits non-zero when any benchmark present in both files regressed by
+// more than 20% in ns/op. Benchmarks present in only one file are
+// reported but do not fail the comparison (baselines are refreshed with
+// `make bench-save` when benchmarks are added or removed).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -36,10 +46,100 @@ type Bench struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false,
+		"compare two benchmark JSON files (old new); exit non-zero on >20% ns/op regressions")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// RegressionThreshold is the ns/op growth factor beyond which -compare
+// fails: 1.20 tolerates CI-runner noise while catching real slowdowns.
+const RegressionThreshold = 1.20
+
+// runCompare loads two benchmark JSON files and reports per-benchmark
+// deltas to w. It returns true when any shared benchmark regressed beyond
+// RegressionThreshold.
+func runCompare(oldPath, newPath string, w io.Writer) (regressed bool, err error) {
+	oldB, err := loadBenches(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newB, err := loadBenches(newPath)
+	if err != nil {
+		return false, err
+	}
+	return Compare(oldB, newB, w), nil
+}
+
+// Compare writes a delta report for every benchmark in either slice and
+// returns true when a benchmark present in both regressed by more than
+// RegressionThreshold in ns/op.
+func Compare(oldB, newB []Bench, w io.Writer) bool {
+	oldByName := make(map[string]Bench, len(oldB))
+	for _, b := range oldB {
+		oldByName[b.Name] = b
+	}
+	newByName := make(map[string]Bench, len(newB))
+	for _, b := range newB {
+		newByName[b.Name] = b
+	}
+	regressed := false
+	for _, nb := range newB { // newB is sorted by name
+		ob, ok := oldByName[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "NEW   %-40s %12.0f ns/op\n", nb.Name, nb.NsPerOp)
+			continue
+		}
+		ratio := 0.0
+		if ob.NsPerOp > 0 {
+			ratio = nb.NsPerOp / ob.NsPerOp
+		}
+		status := "OK   "
+		if ratio > RegressionThreshold {
+			status = "FAIL "
+			regressed = true
+		}
+		fmt.Fprintf(w, "%s %-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			status, nb.Name, ob.NsPerOp, nb.NsPerOp, 100*(ratio-1))
+	}
+	for _, ob := range oldB {
+		if _, ok := newByName[ob.Name]; !ok {
+			fmt.Fprintf(w, "GONE  %-40s %12.0f ns/op\n", ob.Name, ob.NsPerOp)
+		}
+	}
+	return regressed
+}
+
+// loadBenches reads a benchmark JSON document written by this command.
+func loadBenches(path string) ([]Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var benches []Bench
+	if err := json.Unmarshal(data, &benches); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	sort.Slice(benches, func(i, j int) bool { return benches[i].Name < benches[j].Name })
+	return benches, nil
 }
 
 func run(in io.Reader, out io.Writer) error {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 )
@@ -67,6 +68,74 @@ func TestRunEmitsJSON(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Fatalf("JSON missing %q:\n%s", want, s)
 		}
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	oldB := []Bench{{Name: "BenchmarkA", NsPerOp: 1000}, {Name: "BenchmarkB", NsPerOp: 500}}
+	newB := []Bench{{Name: "BenchmarkA", NsPerOp: 1150}, {Name: "BenchmarkB", NsPerOp: 400}}
+	var out bytes.Buffer
+	if Compare(oldB, newB, &out) {
+		t.Fatalf("15%% growth flagged as regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Fatalf("report missing OK lines:\n%s", out.String())
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	oldB := []Bench{{Name: "BenchmarkA", NsPerOp: 1000}}
+	newB := []Bench{{Name: "BenchmarkA", NsPerOp: 1300}}
+	var out bytes.Buffer
+	if !Compare(oldB, newB, &out) {
+		t.Fatalf("30%% growth not flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("report missing FAIL line:\n%s", out.String())
+	}
+}
+
+// TestCompareUnpairedBenchmarks pins that added/removed benchmarks are
+// reported but never fail the gate — only shared-name regressions do.
+func TestCompareUnpairedBenchmarks(t *testing.T) {
+	oldB := []Bench{{Name: "BenchmarkGone", NsPerOp: 10}}
+	newB := []Bench{{Name: "BenchmarkNew", NsPerOp: 999999}}
+	var out bytes.Buffer
+	if Compare(oldB, newB, &out) {
+		t.Fatalf("unpaired benchmarks failed the comparison:\n%s", out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "NEW") || !strings.Contains(s, "GONE") {
+		t.Fatalf("report missing NEW/GONE lines:\n%s", s)
+	}
+}
+
+func TestRunCompareFiles(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := dir + "/old.json"
+	newPath := dir + "/new.json"
+	if err := os.WriteFile(oldPath, []byte(`[{"name":"BenchmarkA","ns_per_op":100}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(`[{"name":"BenchmarkA","ns_per_op":300}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	regressed, err := runCompare(oldPath, newPath, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("3x slowdown not reported as regression:\n%s", out.String())
+	}
+	if _, err := runCompare(oldPath, dir+"/missing.json", &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := os.WriteFile(newPath, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCompare(oldPath, newPath, &out); err == nil {
+		t.Fatal("malformed JSON accepted")
 	}
 }
 

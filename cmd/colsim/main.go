@@ -8,12 +8,16 @@
 //	       [-engine eigentrust|summation|weighted|iterative|similarity]
 //	       [-detector none|basic|optimized|group|sybil]
 //	       [-compromised] [-ring 0] [-swarm 0] [-cycles 20] [-runs 1] [-seed 1]
+//	       [-trace trace.jsonl] [-metrics metrics.json|metrics.prom]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Examples:
 //
 //	colsim -b 0.6                               # Figure 5 conditions
 //	colsim -b 0.2 -detector optimized           # Figure 10 conditions
 //	colsim -b 0.2 -compromised -detector optimized   # Figure 11 conditions
+//	colsim -b 0.2 -detector optimized -trace trace.jsonl  # audit every decision
+//	colsim -detector basic -metrics metrics.prom -cpuprofile cpu.pprof
 package main
 
 import (
@@ -24,6 +28,8 @@ import (
 	"sort"
 
 	collusion "github.com/p2psim/collusion"
+	"github.com/p2psim/collusion/internal/obs"
+	"github.com/p2psim/collusion/internal/obs/prof"
 )
 
 func main() {
@@ -49,6 +55,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cycles      = fs.Int("cycles", 20, "simulation cycles")
 		runs        = fs.Int("runs", 1, "runs to average")
 		seed        = fs.Uint64("seed", 1, "random seed")
+		tracePath   = fs.String("trace", "", "write the deterministic JSONL run trace to this file")
+		metricsPath = fs.String("metrics", "", "export metrics to this file after the run (.prom: Prometheus text, otherwise JSON)")
+		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile  = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,18 +128,57 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var meter collusion.CostMeter
 	cfg.Meter = &meter
 
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		sink, err := obs.NewFileSink(*tracePath)
+		if err != nil {
+			return err
+		}
+		tracer = obs.NewTracer(sink)
+		cfg.Tracer = tracer
+	}
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry(&meter)
+		cfg.Obs = reg
+		// Wall-clock detection latency comes from the unseeded profiling
+		// harness; it observes into a histogram and never feeds back.
+		cfg.CycleTimer = prof.DetectTimer(reg.Histogram("detect.cycle_ns"))
+	}
+	if *cpuprofile != "" {
+		stop, err := prof.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = stop() }()
+	}
+
 	if *runs > 1 {
 		avg, err := collusion.RunSimulationAveraged(cfg, *runs)
 		if err != nil {
 			return err
 		}
 		printAveraged(stdout, cfg, avg)
+		// Gauges are set once, post-run: parallel averaged runs share the
+		// registry and only record into order-independent histograms.
+		reg.Gauge("run.percent_to_colluders").Set(avg.PercentToColluders)
+		reg.Gauge("run.runs_averaged").Set(float64(avg.Runs))
 	} else {
 		res, err := collusion.RunSimulation(cfg)
 		if err != nil {
 			return err
 		}
 		printSingle(stdout, cfg, res)
+		reg.Gauge("run.requests_total").Set(float64(res.RequestsTotal))
+		reg.Gauge("run.requests_to_colluders").Set(float64(res.RequestsToColluders))
+		reg.Gauge("run.ratings_recorded").Set(float64(res.RatingsRecorded))
+		flagged := 0
+		for _, f := range res.Flagged {
+			if f {
+				flagged++
+			}
+		}
+		reg.Gauge("run.flagged_total").Set(float64(flagged))
 	}
 	fmt.Fprintln(stdout, "operation costs:")
 	snap := meter.Snapshot()
@@ -140,6 +189,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(stdout, "  %-24s %d\n", name, snap[name])
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", *tracePath)
+	}
+	if reg != nil {
+		if err := reg.WriteFile(*metricsPath); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		fmt.Fprintf(stdout, "metrics written to %s\n", *metricsPath)
+	}
+	if *memprofile != "" {
+		if err := prof.WriteHeapProfile(*memprofile); err != nil {
+			return err
+		}
 	}
 	return nil
 }

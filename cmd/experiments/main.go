@@ -5,6 +5,8 @@
 // Usage:
 //
 //	experiments [-fig all|ablations|fig1a|...|fig13|ab-*] [-runs 5] [-seed 1] [-scale 1.0] [-workers 0] [-out dir]
+//	            [-trace trace.jsonl] [-metrics metrics.json|metrics.prom]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Examples:
 //
@@ -13,6 +15,7 @@
 //	experiments -fig ablations -runs 3    # the ablation studies
 //	experiments -fig fig13 -runs 1        # quick single-run pass
 //	experiments -fig fig12 -workers 4     # parallel engine, identical output
+//	experiments -fig fig8 -trace trace.jsonl -metrics metrics.json
 package main
 
 import (
@@ -22,6 +25,8 @@ import (
 	"os"
 
 	"github.com/p2psim/collusion/internal/experiments"
+	"github.com/p2psim/collusion/internal/obs"
+	"github.com/p2psim/collusion/internal/obs/prof"
 	"github.com/p2psim/collusion/internal/parallel"
 )
 
@@ -44,6 +49,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		scale   = fs.Float64("scale", 1.0, "synthetic-trace volume scale")
 		workers = fs.Int("workers", 0, "worker goroutines for the parallel engine (0: GOMAXPROCS; output is identical for every value)")
 		out     = fs.String("out", "", "directory for CSV export (empty: no files)")
+
+		tracePath   = fs.String("trace", "", "write the deterministic JSONL run trace to this file")
+		metricsPath = fs.String("metrics", "", "export metrics to this file after the run (.prom: Prometheus text, otherwise JSON)")
+		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile  = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +64,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 		w = parallel.DefaultWorkers()
 	}
 	opts := experiments.Options{Seed: *seed, Runs: *runs, Scale: *scale, Workers: w}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		sink, err := obs.NewFileSink(*tracePath)
+		if err != nil {
+			return err
+		}
+		tracer = obs.NewTracer(sink)
+		opts.Tracer = tracer
+	}
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry(nil)
+		opts.Obs = reg
+	}
+	if *cpuprofile != "" {
+		stop, err := prof.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = stop() }()
+	}
+
 	var tables []*experiments.Table
 	switch *fig {
 	case "all":
@@ -79,5 +111,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		tables = append(tables, t)
 	}
-	return experiments.SaveAll(stdout, *out, tables...)
+	if err := experiments.SaveAll(stdout, *out, tables...); err != nil {
+		return err
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if reg != nil {
+		reg.Gauge("experiments.tables").Set(float64(len(tables)))
+		if err := reg.WriteFile(*metricsPath); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	if *memprofile != "" {
+		if err := prof.WriteHeapProfile(*memprofile); err != nil {
+			return err
+		}
+	}
+	return nil
 }

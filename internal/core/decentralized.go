@@ -6,6 +6,7 @@ import (
 
 	"github.com/p2psim/collusion/internal/dht"
 	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/obs"
 	"github.com/p2psim/collusion/internal/reputation"
 )
 
@@ -43,6 +44,21 @@ type ManagerRing struct {
 	ownerOf    []*manager // manager per rated node
 	th         Thresholds
 	meter      *metrics.CostMeter
+
+	// Trace, if enabled, receives one manager_audit event per initiated
+	// suspicion (the request/response exchange of the distributed
+	// protocol), recording the initiating manager, whether the exchange
+	// crossed managers, and the outcome.
+	Trace *obs.Tracer
+}
+
+// Observe wires the registry's dht.lookup_hops histogram into the ring so
+// every routed lookup records its hop count. A nil registry is a no-op.
+func (mr *ManagerRing) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	mr.ring.SetHopObserver(reg.Histogram("dht.lookup_hops"))
 }
 
 // manager is one reputation manager: a DHT node plus the matrix rows of
@@ -448,6 +464,18 @@ func (mr *ManagerRing) scanTarget(kind Kind, m *manager, target int, r *row, res
 		if other != m {
 			mr.routeMessage(other, target) // response
 			mr.charge(metrics.CostManagerMessage, 1)
+		}
+		if mr.Trace.Enabled() {
+			gate := obs.GateFlagged
+			if !positive {
+				gate = "not_confirmed"
+			}
+			mr.Trace.Emit("manager_audit",
+				obs.Str("manager", m.node.Name()),
+				obs.Int("target", target),
+				obs.Int("rater", rater),
+				obs.Bool("cross_manager", other != m),
+				obs.Str("gate", gate))
 		}
 		if positive {
 			mr.addPair(res, target, rater, r, or)

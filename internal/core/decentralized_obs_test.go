@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/p2psim/collusion/internal/metrics"
+)
+
+// crossManagerPair returns the first node pair owned by two different
+// managers, so detection must exchange request/response messages.
+func crossManagerPair(t *testing.T, mr *ManagerRing, n int) (int, int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			mi, err := mr.ManagerOf(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mj, err := mr.ManagerOf(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mi != mj {
+				return i, j
+			}
+		}
+	}
+	t.Fatal("no cross-manager pair in topology")
+	return -1, -1
+}
+
+// sameManagerPair returns the first node pair owned by one manager.
+func sameManagerPair(t *testing.T, mr *ManagerRing, n int) (int, int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			mi, err := mr.ManagerOf(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mj, err := mr.ManagerOf(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mi == mj {
+				return i, j
+			}
+		}
+	}
+	t.Fatal("no same-manager pair in topology")
+	return -1, -1
+}
+
+// floodMutual plants a detectable colluding pair: enough mutual positives
+// to pass TN, Ta, and the Formula (2) bound (a purely mutual row has
+// summation 2*nij-ni = nij, inside [2*Ta*nij-nij, nij]).
+func floodMutual(t *testing.T, mr *ManagerRing, i, j int) {
+	t.Helper()
+	for k := 0; k < 25; k++ {
+		if err := mr.Record(i, j, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := mr.Record(j, i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestManagerMessageChargesPinned pins the exact message accounting of
+// the distributed protocol on a minimal cross-manager topology: one
+// colluding pair owned by two different managers. Each suspicion
+// exchange charges metrics.CostManagerMessage exactly once for the
+// request and once for the response — two scanned targets make exactly
+// 4 — and a second identical Detect doubles both the manager-message
+// and detection-phase DHT-hop totals exactly (no hidden or duplicated
+// charges).
+func TestManagerMessageChargesPinned(t *testing.T) {
+	var meter metrics.CostMeter
+	const n = 16
+	mr, err := NewManagerRing(4, n, DefaultThresholds(), &meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, cj := crossManagerPair(t, mr, n)
+	floodMutual(t, mr, ci, cj)
+
+	// Loading routes each rating to its target's manager but never
+	// triggers a manager-to-manager exchange.
+	loadHops := meter.Get(metrics.CostDHTMessage)
+	if loadHops == 0 {
+		t.Fatal("loading ratings routed no DHT messages")
+	}
+	if got := meter.Get(metrics.CostManagerMessage); got != 0 {
+		t.Fatalf("loading charged %d manager messages, want 0", got)
+	}
+
+	res := mr.Detect(KindOptimized)
+	if !res.HasPair(ci, cj) {
+		t.Fatalf("planted pair (%d,%d) not flagged: %v", ci, cj, res.Pairs)
+	}
+	mgr := meter.Get(metrics.CostManagerMessage)
+	if mgr != 4 {
+		t.Fatalf("Detect charged %d manager messages, want 4 (2 targets x request+response)", mgr)
+	}
+	detectHops := meter.Get(metrics.CostDHTMessage) - loadHops
+	if detectHops == 0 {
+		t.Fatal("cross-manager exchanges routed no DHT hops")
+	}
+
+	// Detect is read-only: a second pass repeats the identical exchanges.
+	mr.Detect(KindOptimized)
+	if got := meter.Get(metrics.CostManagerMessage); got != 2*mgr {
+		t.Fatalf("second Detect: %d manager messages total, want exactly %d", got, 2*mgr)
+	}
+	if got := meter.Get(metrics.CostDHTMessage) - loadHops; got != 2*detectHops {
+		t.Fatalf("second Detect: %d detection DHT hops total, want exactly %d", got, 2*detectHops)
+	}
+}
+
+// TestSameManagerExchangeIsLocal is the control for the pinning test: a
+// colluding pair owned by one manager is confirmed locally, charging no
+// manager messages and routing no detection-phase DHT traffic.
+func TestSameManagerExchangeIsLocal(t *testing.T) {
+	var meter metrics.CostMeter
+	const n = 16
+	mr, err := NewManagerRing(4, n, DefaultThresholds(), &meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, cj := sameManagerPair(t, mr, n)
+	floodMutual(t, mr, ci, cj)
+
+	loadHops := meter.Get(metrics.CostDHTMessage)
+	res := mr.Detect(KindOptimized)
+	if !res.HasPair(ci, cj) {
+		t.Fatalf("planted pair (%d,%d) not flagged: %v", ci, cj, res.Pairs)
+	}
+	if got := meter.Get(metrics.CostManagerMessage); got != 0 {
+		t.Fatalf("local confirmation charged %d manager messages, want 0", got)
+	}
+	if got := meter.Get(metrics.CostDHTMessage); got != loadHops {
+		t.Fatalf("local confirmation routed %d DHT hops, want 0", got-loadHops)
+	}
+}

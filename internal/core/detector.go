@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/obs"
 	"github.com/p2psim/collusion/internal/reputation"
 )
 
@@ -104,6 +105,10 @@ type Basic struct {
 	// Meter, if non-nil, accumulates metrics.CostMatrixScan and
 	// metrics.CostPairCheck.
 	Meter *metrics.CostMeter
+	// Trace, if enabled, receives a pair_audit event per examined high
+	// pair recording which threshold gate it stopped at. Disabled tracing
+	// adds no work and no allocations to the hot path.
+	Trace *obs.Tracer
 }
 
 // NewBasic returns a basic detector with the given thresholds.
@@ -114,6 +119,7 @@ func (b *Basic) Name() string { return "unoptimized" }
 
 // Detect implements Detector.
 func (b *Basic) Detect(l *reputation.Ledger) Result {
+	auditCandidates(b.Trace, b.Name(), l, b.Thresholds.TR)
 	return b.DetectAmong(l, summationCandidates(l, b.Thresholds.TR))
 }
 
@@ -151,39 +157,60 @@ func (b *Basic) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 			// later eliminates; we walk only n_i's active raters but
 			// charge the full dense re-scan.
 			outI := b.outsideLow(l, i, j)
-			// C4 + C3 forward screen: j rates i frequently and almost
-			// always positively.
-			nij := l.PairTotal(i, j)
-			if nij < b.Thresholds.TN ||
-				float64(l.PairPositive(i, j))/float64(nij) < b.Thresholds.Ta {
-				continue
-			}
-			if b.Thresholds.StrictReverse && !outI {
-				continue
-			}
-			// Symmetric screen on n_j's element a_ji.
-			nji := l.PairTotal(j, i)
-			b.charge(metrics.CostMatrixScan, 1)
-			if nji < b.Thresholds.TN ||
-				float64(l.PairPositive(j, i))/float64(nji) < b.Thresholds.Ta {
-				continue
-			}
-			// The strict (literal Section IV) rule demands the outside
-			// test of both sides; the default demands it of at least one.
-			if b.Thresholds.StrictReverse {
-				if b.outsideLow(l, j, i) {
-					res.addPair(l, i, j)
-				}
-				continue
-			}
-			if outI || b.outsideLow(l, j, i) {
-				res.addPair(l, i, j)
+			gate := b.screenPair(l, i, j, outI, &res)
+			if b.Trace.Enabled() {
+				b.Trace.PairAudit(pairAuditFor(l, b.Name(), i, j, gate))
 			}
 		}
 	}
-	associationSweep(l, b.Thresholds, &res, func(n int64) { b.charge(metrics.CostPairCheck, n) })
+	associationSweep(l, b.Thresholds, &res,
+		func(n int64) { b.charge(metrics.CostPairCheck, n) }, b.Trace, b.Name())
 	res.sortPairs()
 	return res
+}
+
+// screenPair runs the §IV-B threshold cascade on one high pair (outI
+// precomputed by the caller's unconditional outside scan), records a
+// detection, and returns the audit gate label. The charge sequence is
+// identical to the pre-audit implementation: one CostMatrixScan for the
+// reverse matrix element once the forward screen passes, and outside
+// re-scans exactly where the dense method pays them.
+func (b *Basic) screenPair(l *reputation.Ledger, i, j int, outI bool, res *Result) string {
+	// C4 + C3 forward screen: j rates i frequently and almost always
+	// positively.
+	nij := l.PairTotal(i, j)
+	if nij < b.Thresholds.TN {
+		return obs.GateTNForward
+	}
+	if float64(l.PairPositive(i, j))/float64(nij) < b.Thresholds.Ta {
+		return obs.GateTAForward
+	}
+	if b.Thresholds.StrictReverse && !outI {
+		return obs.GateTBForward
+	}
+	// Symmetric screen on n_j's element a_ji.
+	nji := l.PairTotal(j, i)
+	b.charge(metrics.CostMatrixScan, 1)
+	if nji < b.Thresholds.TN {
+		return obs.GateTNReverse
+	}
+	if float64(l.PairPositive(j, i))/float64(nji) < b.Thresholds.Ta {
+		return obs.GateTAReverse
+	}
+	// The strict (literal Section IV) rule demands the outside test of
+	// both sides; the default demands it of at least one.
+	if b.Thresholds.StrictReverse {
+		if b.outsideLow(l, j, i) {
+			res.addPair(l, i, j)
+			return obs.GateFlagged
+		}
+		return obs.GateTBReverse
+	}
+	if outI || b.outsideLow(l, j, i) {
+		res.addPair(l, i, j)
+		return obs.GateFlagged
+	}
+	return obs.GateTBOutside
 }
 
 // outsideLow computes b, the positive share of every rating the target
@@ -226,6 +253,10 @@ type Optimized struct {
 	// Meter, if non-nil, accumulates metrics.CostBoundCheck and
 	// metrics.CostPairCheck.
 	Meter *metrics.CostMeter
+	// Trace, if enabled, receives a pair_audit event per examined high
+	// pair, including the Formula (2) interval each side was checked
+	// against. Disabled tracing adds no work and no allocations.
+	Trace *obs.Tracer
 }
 
 // NewOptimized returns an optimized detector with the given thresholds.
@@ -236,6 +267,7 @@ func (o *Optimized) Name() string { return "optimized" }
 
 // Detect implements Detector.
 func (o *Optimized) Detect(l *reputation.Ledger) Result {
+	auditCandidates(o.Trace, o.Name(), l, o.Thresholds.TR)
 	return o.DetectAmong(l, summationCandidates(l, o.Thresholds.TR))
 }
 
@@ -249,52 +281,82 @@ func (o *Optimized) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 	res := Result{Flagged: make([]bool, n)}
 	highList := highCandidates(n, candidates)
 
+	enabled := o.Trace.Enabled()
 	for idx, i := range highList {
 		ri := float64(l.SummationScore(i))
 		ni := l.TotalFor(i)
 		o.charge(metrics.CostPairCheck, int64(n-1-idx))
 		for _, j := range highList[idx+1:] {
+			// The frequency gate rejects almost every pair, so it stays
+			// inline; the full cascade runs out of line only for pairs
+			// that survive it (or when the audit trail needs the label).
 			nij, nji := l.PairTotal(i, j), l.PairTotal(j, i)
 			if nij < o.Thresholds.TN || nji < o.Thresholds.TN {
+				if enabled {
+					o.auditPair(l, i, j, obs.GateTN)
+				}
 				continue
 			}
-			rj := float64(l.SummationScore(j))
-			nj := l.TotalFor(j)
-			if o.Thresholds.StrictReverse {
-				// Literal Section IV-C: Formula (2) must hold on both
-				// sides. Each evaluation needs only R, N and N_(i,j).
-				o.charge(metrics.CostBoundCheck, 1)
-				if !o.Thresholds.BoundsHold(ri, ni, nij) {
-					continue
-				}
-				o.charge(metrics.CostBoundCheck, 1)
-				if !o.Thresholds.BoundsHold(rj, nj, nji) {
-					continue
-				}
-				res.addPair(l, i, j)
-				continue
+			gate := o.screenPair(l, i, j, ri, ni, nij, nji, &res)
+			if enabled {
+				o.auditPair(l, i, j, gate)
 			}
-			// Default rule: mutual frequent almost-always-positive rating
-			// (read off the two matrix elements, no row scan) plus
-			// Formula (2) on at least one side.
-			if float64(l.PairPositive(i, j))/float64(nij) < o.Thresholds.Ta ||
-				float64(l.PairPositive(j, i))/float64(nji) < o.Thresholds.Ta {
-				continue
-			}
-			o.charge(metrics.CostBoundCheck, 1)
-			holdI := o.Thresholds.BoundsHold(ri, ni, nij)
-			if !holdI {
-				o.charge(metrics.CostBoundCheck, 1)
-				if !o.Thresholds.BoundsHold(rj, nj, nji) {
-					continue
-				}
-			}
-			res.addPair(l, i, j)
 		}
 	}
-	associationSweep(l, o.Thresholds, &res, func(n int64) { o.charge(metrics.CostPairCheck, n) })
+	associationSweep(l, o.Thresholds, &res,
+		func(n int64) { o.charge(metrics.CostPairCheck, n) }, o.Trace, o.Name())
 	res.sortPairs()
 	return res
+}
+
+// auditPair emits one pair_audit event with the Formula (2) intervals
+// both sides were (or would have been) checked against.
+func (o *Optimized) auditPair(l *reputation.Ledger, i, j int, gate string) {
+	a := pairAuditFor(l, o.Name(), i, j, gate)
+	a.LoI, a.HiI = o.Thresholds.ReputationBounds(a.NI, a.NIJ)
+	a.LoJ, a.HiJ = o.Thresholds.ReputationBounds(a.NJ, a.NJI)
+	o.Trace.PairAudit(a)
+}
+
+// screenPair runs the §IV-C cascade on one high pair that already passed
+// the caller's inline frequency gate (nij, nji >= TN), records a
+// detection, and returns the audit gate label. Bound checks are charged
+// exactly where the pre-audit implementation charged them: always the
+// first, and the second only when the rule needs it.
+func (o *Optimized) screenPair(l *reputation.Ledger, i, j int, ri float64, ni, nij, nji int, res *Result) string {
+	rj := float64(l.SummationScore(j))
+	nj := l.TotalFor(j)
+	if o.Thresholds.StrictReverse {
+		// Literal Section IV-C: Formula (2) must hold on both sides.
+		// Each evaluation needs only R, N and N_(i,j).
+		o.charge(metrics.CostBoundCheck, 1)
+		if !o.Thresholds.BoundsHold(ri, ni, nij) {
+			return obs.GateBoundForward
+		}
+		o.charge(metrics.CostBoundCheck, 1)
+		if !o.Thresholds.BoundsHold(rj, nj, nji) {
+			return obs.GateBoundReverse
+		}
+		res.addPair(l, i, j)
+		return obs.GateFlagged
+	}
+	// Default rule: mutual frequent almost-always-positive rating (read
+	// off the two matrix elements, no row scan) plus Formula (2) on at
+	// least one side.
+	if float64(l.PairPositive(i, j))/float64(nij) < o.Thresholds.Ta ||
+		float64(l.PairPositive(j, i))/float64(nji) < o.Thresholds.Ta {
+		return obs.GateTA
+	}
+	o.charge(metrics.CostBoundCheck, 1)
+	holdI := o.Thresholds.BoundsHold(ri, ni, nij)
+	if !holdI {
+		o.charge(metrics.CostBoundCheck, 1)
+		if !o.Thresholds.BoundsHold(rj, nj, nji) {
+			return obs.GateBound
+		}
+	}
+	res.addPair(l, i, j)
+	return obs.GateFlagged
 }
 
 // associationSweep closes the detected set under colluding partnership:
@@ -313,7 +375,7 @@ func (o *Optimized) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 // every already-paired partner is in the adjacency list and the bulk
 // charge (n-1 minus c's current pair count) matches the dense scan's
 // exactly.
-func associationSweep(l *reputation.Ledger, th Thresholds, res *Result, charge func(int64)) {
+func associationSweep(l *reputation.Ledger, th Thresholds, res *Result, charge func(int64), tr *obs.Tracer, det string) {
 	if th.StrictReverse {
 		return
 	}
@@ -337,23 +399,88 @@ func associationSweep(l *reputation.Ledger, th Thresholds, res *Result, charge f
 			if res.HasPair(c, x) {
 				continue
 			}
-			ncx, nxc := l.PairTotal(c, x), l.PairTotal(x, c)
-			if ncx < th.TN || nxc < th.TN {
-				continue
+			gate := sweepPartner(l, th, res, c, x)
+			if gate == obs.GateFlagged {
+				pairCount[c]++
+				pairCount[x]++
+				if !inQueue[x] {
+					inQueue[x] = true
+					queue = append(queue, x)
+				}
 			}
-			if float64(l.PairPositive(c, x))/float64(ncx) < th.Ta ||
-				float64(l.PairPositive(x, c))/float64(nxc) < th.Ta {
-				continue
-			}
-			res.addPair(l, c, x)
-			pairCount[c]++
-			pairCount[x]++
-			if !inQueue[x] {
-				inQueue[x] = true
-				queue = append(queue, x)
+			if tr.Enabled() {
+				tr.PairAudit(pairAuditFor(l, det, min2(c, x), max2(c, x), gate))
 			}
 		}
 	}
+}
+
+// sweepPartner applies the association screen to one candidate partner of
+// a flagged colluder, records a detection, and returns the gate label.
+func sweepPartner(l *reputation.Ledger, th Thresholds, res *Result, c, x int) string {
+	ncx, nxc := l.PairTotal(c, x), l.PairTotal(x, c)
+	if ncx < th.TN || nxc < th.TN {
+		return obs.GateTN
+	}
+	if float64(l.PairPositive(c, x))/float64(ncx) < th.Ta ||
+		float64(l.PairPositive(x, c))/float64(nxc) < th.Ta {
+		return obs.GateTA
+	}
+	res.addPair(l, c, x)
+	return obs.GateFlagged
+}
+
+// pairAuditFor assembles a decision record for (i, j) from O(1) ledger
+// reads — uncharged, so auditing never perturbs the cost accounting the
+// Figure 13 equivalence tests pin.
+func pairAuditFor(l *reputation.Ledger, det string, i, j int, gate string) obs.PairAudit {
+	a := obs.PairAudit{
+		Detector: det, I: i, J: j, Gate: gate,
+		NIJ: l.PairTotal(i, j), NJI: l.PairTotal(j, i),
+		NI: l.TotalFor(i), NJ: l.TotalFor(j),
+		RI: float64(l.SummationScore(i)), RJ: float64(l.SummationScore(j)),
+		OutPosI: l.OthersPositive(i, j), OutTotI: l.OthersTotal(i, j),
+		OutPosJ: l.OthersPositive(j, i), OutTotJ: l.OthersTotal(j, i),
+	}
+	if a.NIJ > 0 {
+		a.AIJ = float64(l.PairPositive(i, j)) / float64(a.NIJ)
+	}
+	if a.NJI > 0 {
+		a.AJI = float64(l.PairPositive(j, i)) / float64(a.NJI)
+	}
+	return a
+}
+
+// auditCandidates emits one candidate_audit event per node recording the
+// T_R screen that selects high-reputed detection candidates, so the trace
+// also explains pairs that never reached pair examination.
+func auditCandidates(t *obs.Tracer, det string, l *reputation.Ledger, tr float64) {
+	if !t.Enabled() {
+		return
+	}
+	for i := 0; i < l.Size(); i++ {
+		r := float64(l.SummationScore(i))
+		t.Emit("candidate_audit",
+			obs.Str("detector", det),
+			obs.Int("node", i),
+			obs.Float("r", r),
+			obs.Float("t_r", tr),
+			obs.Bool("high", r >= tr))
+	}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func (o *Optimized) charge(name string, n int64) {

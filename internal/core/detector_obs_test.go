@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/p2psim/collusion/internal/obs"
+)
+
+// TestTracingOffAddsNoAllocs pins the acceptance criterion that a
+// disabled tracer adds zero allocations to the detector hot path: the
+// Detect allocation count is identical with no tracer and with an
+// explicitly disabled one.
+func TestTracingOffAddsNoAllocs(t *testing.T) {
+	l := benchLedger(200)
+	bare := NewBasic(DefaultThresholds())
+	baseline := testing.AllocsPerRun(5, func() { bare.Detect(l) })
+	off := NewBasic(DefaultThresholds())
+	off.Trace = obs.NewTracer(nil)
+	if got := testing.AllocsPerRun(5, func() { off.Detect(l) }); got != baseline {
+		t.Fatalf("disabled tracer changed Detect allocations: %v, baseline %v", got, baseline)
+	}
+	bareOpt := NewOptimized(DefaultThresholds())
+	optBase := testing.AllocsPerRun(5, func() { bareOpt.Detect(l) })
+	offOpt := NewOptimized(DefaultThresholds())
+	offOpt.Trace = obs.NewTracer(nil)
+	if got := testing.AllocsPerRun(5, func() { offOpt.Detect(l) }); got != optBase {
+		t.Fatalf("disabled tracer changed optimized Detect allocations: %v, baseline %v", got, optBase)
+	}
+}
+
+// BenchmarkBasicDetect200TracingDisabled is BenchmarkBasicDetect200 with
+// an explicitly disabled tracer attached, so `benchjson -compare` can
+// show the two are within noise of each other.
+func BenchmarkBasicDetect200TracingDisabled(b *testing.B) {
+	l := benchLedger(200)
+	d := NewBasic(DefaultThresholds())
+	d.Trace = obs.NewTracer(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Detect(l)
+	}
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"sort"
+	"strconv"
 
 	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/obs"
 	"github.com/p2psim/collusion/internal/reputation"
 )
 
@@ -96,6 +98,11 @@ type GroupDetector struct {
 	// Meter, if non-nil, accumulates metrics.CostPairCheck per edge
 	// examination and metrics.CostMatrixScan per outside-share scan.
 	Meter *metrics.CostMeter
+	// Trace, if enabled, receives group_edge events for rated high pairs
+	// (which C3/C4 gate each candidate flooding edge stopped at),
+	// group_member events for each examined collective member's outside
+	// test, and one group_audit decision per collective.
+	Trace *obs.Tracer
 }
 
 // NewGroupDetector returns a group detector with the given thresholds.
@@ -109,6 +116,7 @@ func (g *GroupDetector) Name() string { return "group" }
 // Detect derives high-reputed candidates from summation scores and
 // searches them for collusion collectives.
 func (g *GroupDetector) Detect(l *reputation.Ledger) GroupResult {
+	auditCandidates(g.Trace, g.Name(), l, g.Thresholds.TR)
 	return g.DetectAmong(l, summationCandidates(l, g.Thresholds.TR))
 }
 
@@ -130,6 +138,7 @@ func (g *GroupDetector) DetectAmong(l *reputation.Ledger, candidates []int) Grou
 	// rating relationship is frequent and almost always positive.
 	adj := make(map[int][]int, len(nodes)) // rater -> targets
 	radj := make(map[int][]int, len(nodes))
+	tracing := g.Trace.Enabled()
 	for _, target := range nodes {
 		for _, rater := range nodes {
 			if rater == target {
@@ -138,10 +147,21 @@ func (g *GroupDetector) DetectAmong(l *reputation.Ledger, candidates []int) Grou
 			g.charge(metrics.CostPairCheck, 1)
 			cnt := l.PairTotal(target, rater)
 			if cnt < g.Thresholds.TN {
+				// Edges with no ratings at all are not audited — they are
+				// the overwhelmingly common case and carry no information.
+				if tracing && cnt > 0 {
+					g.auditEdge(l, target, rater, cnt, obs.GateTN)
+				}
 				continue
 			}
 			if float64(l.PairPositive(target, rater))/float64(cnt) < g.Thresholds.Ta {
+				if tracing {
+					g.auditEdge(l, target, rater, cnt, obs.GateTA)
+				}
 				continue
+			}
+			if tracing {
+				g.auditEdge(l, target, rater, cnt, obs.GateFlagged)
 			}
 			adj[rater] = append(adj[rater], target)
 			radj[target] = append(radj[target], rater)
@@ -206,22 +226,67 @@ func (g *GroupDetector) examine(l *reputation.Ledger, comp []int) (Group, bool) 
 		outsidePos += memberOutPos
 		// A member with no outside ratings is maximally suspicious: its
 		// whole reputation is internal to the collective.
-		if memberOutTotal == 0 ||
-			float64(memberOutPos)/float64(memberOutTotal) < g.Thresholds.Tb {
+		memberFails := memberOutTotal == 0 ||
+			float64(memberOutPos)/float64(memberOutTotal) < g.Thresholds.Tb
+		if memberFails {
 			failing++
+		}
+		if g.Trace.Enabled() {
+			g.Trace.Emit("group_member",
+				obs.Str("detector", g.Name()),
+				obs.Int("node", m),
+				obs.Int("out_pos", memberOutPos),
+				obs.Int("out_tot", memberOutTotal),
+				obs.Float("t_b", g.Thresholds.Tb),
+				obs.Bool("fails_outside", memberFails))
 		}
 	}
 	if outsideTotal > 0 {
 		grp.OutsidePositiveShare = float64(outsidePos) / float64(outsideTotal)
 	}
+	suspicious := failing > 0
 	if g.Thresholds.StrictReverse {
-		return grp, failing == len(members)
+		suspicious = failing == len(members)
 	}
 	// Default: at least one member must look propped-up — the same
 	// relaxation as the pairwise rule, so a collective that recruited
 	// clean-looking members (the compromised-pretrust pattern) is still
 	// caught, and every pairwise detection is covered by a group.
-	return grp, failing > 0
+	if g.Trace.Enabled() {
+		g.Trace.Emit("group_audit",
+			obs.Str("detector", g.Name()),
+			obs.Str("members", intsString(members)),
+			obs.Int("inside_ratings", grp.InsideRatings),
+			obs.Float("outside_share", grp.OutsidePositiveShare),
+			obs.Int("failing", failing),
+			obs.Bool("flagged", suspicious))
+	}
+	return grp, suspicious
+}
+
+// auditEdge emits one group_edge event for a rated candidate flooding
+// edge rater→target.
+func (g *GroupDetector) auditEdge(l *reputation.Ledger, target, rater, cnt int, gate string) {
+	g.Trace.Emit("group_edge",
+		obs.Str("detector", g.Name()),
+		obs.Int("target", target),
+		obs.Int("rater", rater),
+		obs.Int("n", cnt),
+		obs.Float("a", float64(l.PairPositive(target, rater))/float64(cnt)),
+		obs.Str("gate", gate))
+}
+
+// intsString renders node indices as a comma-separated list for event
+// attributes.
+func intsString(xs []int) string {
+	var b []byte
+	for k, x := range xs {
+		if k > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(x), 10)
+	}
+	return string(b)
 }
 
 func (g *GroupDetector) charge(name string, n int64) {

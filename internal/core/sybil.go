@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/obs"
 	"github.com/p2psim/collusion/internal/reputation"
 )
 
@@ -93,6 +94,10 @@ type SybilDetector struct {
 	// Meter, if non-nil, accumulates metrics.CostPairCheck per examined
 	// rater and metrics.CostMatrixScan per outside-share scan.
 	Meter *metrics.CostMeter
+	// Trace, if enabled, receives sybil_rater events for rated
+	// (target, rater) relationships (which gate disqualified the rater as
+	// a booster) and one sybil_audit decision per candidate beneficiary.
+	Trace *obs.Tracer
 }
 
 // Default Sybil-detector parameters.
@@ -116,6 +121,7 @@ func (d *SybilDetector) Name() string { return "sybil" }
 // Detect derives high-reputed candidates from summation scores and
 // searches them for boosting swarms.
 func (d *SybilDetector) Detect(l *reputation.Ledger) SybilResult {
+	auditCandidates(d.Trace, d.Name(), l, d.Thresholds.TR)
 	return d.DetectAmong(l, summationCandidates(l, d.Thresholds.TR))
 }
 
@@ -141,6 +147,7 @@ func (d *SybilDetector) DetectAmong(l *reputation.Ledger, candidates []int) Sybi
 	}
 	sort.Ints(targets)
 
+	tracing := d.Trace.Enabled()
 	for _, target := range targets {
 		var boosters []int
 		boosterRatings := 0
@@ -151,21 +158,45 @@ func (d *SybilDetector) DetectAmong(l *reputation.Ledger, candidates []int) Sybi
 			d.charge(metrics.CostPairCheck, 1)
 			cnt := l.PairTotal(target, rater)
 			if cnt < d.Thresholds.TN {
+				// Unrated relationships are not audited; they carry no
+				// information and would dominate the trace volume.
+				if tracing && cnt > 0 {
+					d.auditRater(l, target, rater, cnt, obs.GateTN)
+				}
 				continue
 			}
 			if float64(l.PairPositive(target, rater))/float64(cnt) < d.Thresholds.Ta {
+				if tracing {
+					d.auditRater(l, target, rater, cnt, obs.GateTA)
+				}
 				continue
 			}
 			// Fake identities concentrate their ratings on the
 			// beneficiary; honest frequent customers spread theirs.
 			if out := l.OutgoingTotal(rater); out == 0 ||
 				float64(cnt)/float64(out) < minConc {
+				if tracing {
+					d.auditRater(l, target, rater, cnt, "concentration")
+				}
 				continue
+			}
+			if tracing {
+				d.auditRater(l, target, rater, cnt, "booster")
 			}
 			boosters = append(boosters, rater)
 			boosterRatings += cnt
 		}
 		if len(boosters) < minBoosters {
+			if tracing && len(boosters) > 0 {
+				d.Trace.Emit("sybil_audit",
+					obs.Str("detector", d.Name()),
+					obs.Int("target", target),
+					obs.Int("boosters", len(boosters)),
+					obs.Int("min_boosters", minBoosters),
+					obs.Int("booster_ratings", boosterRatings),
+					obs.Float("outside_share", -1),
+					obs.Str("gate", "min_boosters"))
+			}
 			continue
 		}
 		// Outside test over everyone except the swarm.
@@ -186,7 +217,22 @@ func (d *SybilDetector) DetectAmong(l *reputation.Ledger, candidates []int) Sybi
 		if outTotal > 0 {
 			share = float64(outPos) / float64(outTotal)
 		}
-		if outTotal > 0 && share >= d.Thresholds.Tb {
+		corroborated := outTotal > 0 && share >= d.Thresholds.Tb
+		if tracing {
+			gate := obs.GateFlagged
+			if corroborated {
+				gate = obs.GateTBOutside
+			}
+			d.Trace.Emit("sybil_audit",
+				obs.Str("detector", d.Name()),
+				obs.Int("target", target),
+				obs.Int("boosters", len(boosters)),
+				obs.Int("min_boosters", minBoosters),
+				obs.Int("booster_ratings", boosterRatings),
+				obs.Float("outside_share", share),
+				obs.Str("gate", gate))
+		}
+		if corroborated {
 			continue // the outside world corroborates the reputation
 		}
 		finding := SybilFinding{
@@ -208,4 +254,21 @@ func (d *SybilDetector) charge(name string, n int64) {
 	if d.Meter != nil {
 		d.Meter.Add(name, n)
 	}
+}
+
+// auditRater emits one sybil_rater event for a rated (target, rater)
+// relationship, recording which booster gate the rater stopped at.
+func (d *SybilDetector) auditRater(l *reputation.Ledger, target, rater, cnt int, gate string) {
+	conc := 0.0
+	if out := l.OutgoingTotal(rater); out > 0 {
+		conc = float64(cnt) / float64(out)
+	}
+	d.Trace.Emit("sybil_rater",
+		obs.Str("detector", d.Name()),
+		obs.Int("target", target),
+		obs.Int("rater", rater),
+		obs.Int("n", cnt),
+		obs.Float("a", float64(l.PairPositive(target, rater))/float64(cnt)),
+		obs.Float("concentration", conc),
+		obs.Str("gate", gate))
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/obs"
 )
 
 // Node is a Chord participant: an identifier, a finger table, and a local
@@ -55,7 +56,8 @@ type Ring struct {
 	nodes    []*Node // sorted by id
 	byID     map[ID]*Node
 	meter    *metrics.CostMeter
-	replicas int // successor copies per key (0 = none)
+	hops     *obs.Histogram // per-lookup hop counts, when observed
+	replicas int            // successor copies per key (0 = none)
 }
 
 // NewRing creates an empty ring over an m-bit space. The meter, if non-nil,
@@ -187,10 +189,12 @@ func (r *Ring) FindSuccessor(start *Node, key ID) (*Node, int, error) {
 	for limit := int(r.space.Bits)*2 + 2; limit > 0; limit-- {
 		if cur.succ == cur {
 			// Single-node ring owns everything.
+			r.observeHops(hops)
 			return cur, hops, nil
 		}
 		if BetweenRightIncl(key, cur.id, cur.succ.id) {
 			r.countHop()
+			r.observeHops(hops + 1)
 			return cur.succ, hops + 1, nil
 		}
 		next := cur.closestPrecedingFinger(key)
@@ -207,6 +211,17 @@ func (r *Ring) FindSuccessor(start *Node, key ID) (*Node, int, error) {
 func (r *Ring) countHop() {
 	if r.meter != nil {
 		r.meter.Inc(metrics.CostDHTMessage)
+	}
+}
+
+// SetHopObserver registers a histogram that observes the hop count of
+// every successfully routed FindSuccessor call (and therefore of every
+// Insert/Lookup). A nil histogram disables observation.
+func (r *Ring) SetHopObserver(h *obs.Histogram) { r.hops = h }
+
+func (r *Ring) observeHops(n int) {
+	if r.hops != nil {
+		r.hops.Observe(int64(n))
 	}
 }
 

@@ -202,6 +202,12 @@ func AbDecentralizedLive(opts Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		// OnRating forces the run sequential, so the live deployment can
+		// share the driver's tracer and observe DHT hops in the registry.
+		ring.Trace = opts.Tracer
+		ring.Observe(opts.Obs)
+		cfg.Tracer = opts.Tracer
+		cfg.Obs = opts.Obs
 		cfg.OnRating = func(rater, target, polarity int) {
 			// A live deployment routes every rating report over the DHT.
 			_ = ring.Record(rater, target, polarity)

@@ -19,6 +19,8 @@ func reputationFigure(id, title string, cfg simulator.Config, opts Options, note
 	opts = opts.normalized()
 	cfg.Seed = opts.Seed
 	cfg.Workers = opts.Workers
+	cfg.Tracer = opts.Tracer // RunAveragedParallel forks per run internally
+	cfg.Obs = opts.Obs
 	avg, err := simulator.RunAveragedParallel(cfg, opts.Runs, opts.Workers)
 	if err != nil {
 		return nil, err
@@ -130,14 +132,22 @@ func Fig8(opts Options) (*Table, error) {
 
 	// One cell per detector kind; cells run concurrently and land in
 	// index-ordered slots, so the table is identical for every Workers.
+	// Each cell traces into its own forked buffer, joined in cell order,
+	// keeping the combined trace byte-identical too.
 	kinds := []simulator.DetectorKind{simulator.DetectorBasic, simulator.DetectorOptimized}
+	kids := opts.Tracer.Fork(len(kinds))
 	avgs := make([]*simulator.AveragedResult, len(kinds))
 	errs := make([]error, len(kinds))
 	parallel.ForEach(opts.Workers, len(kinds), func(c int) {
 		cfg := base
 		cfg.Detector = kinds[c]
+		cfg.Tracer = kids[c]
+		cfg.Obs = opts.Obs
 		avgs[c], errs[c] = simulator.RunAveragedParallel(cfg, opts.Runs, opts.Workers)
 	})
+	if err := opts.Tracer.Join(kids); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -242,6 +252,7 @@ func Fig12(opts Options) (*Table, error) {
 	}
 	shares := make([]float64, len(counts)*len(kinds))
 	errs := make([]error, len(shares))
+	kids := opts.Tracer.Fork(len(shares))
 	parallel.ForEach(opts.Workers, len(shares), func(c int) {
 		nc, det := counts[c/len(kinds)], kinds[c%len(kinds)]
 		cfg := simulator.DefaultConfig()
@@ -249,6 +260,8 @@ func Fig12(opts Options) (*Table, error) {
 		cfg.ColluderGoodProb = 0.2
 		cfg.Colluders = colluderSet(nc)
 		cfg.Detector = det
+		cfg.Tracer = kids[c]
+		cfg.Obs = opts.Obs
 		avg, err := simulator.RunAveragedParallel(cfg, opts.Runs, opts.Workers)
 		if err != nil {
 			errs[c] = err
@@ -256,6 +269,9 @@ func Fig12(opts Options) (*Table, error) {
 		}
 		shares[c] = avg.PercentToColluders
 	})
+	if err := opts.Tracer.Join(kids); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -297,6 +313,7 @@ func Fig13(opts Options) (*Table, error) {
 	const methods = 3 // eigentrust, unoptimized, optimized
 	costs := make([]int64, len(counts)*methods)
 	errs := make([]error, len(costs))
+	kids := opts.Tracer.Fork(len(costs))
 	parallel.ForEach(opts.Workers, len(costs), func(c int) {
 		nc, method := counts[c/methods], c%methods
 		var meter metrics.CostMeter
@@ -305,6 +322,8 @@ func Fig13(opts Options) (*Table, error) {
 		cfg.ColluderGoodProb = 0.2
 		cfg.Colluders = colluderSet(nc)
 		cfg.Meter = &meter
+		cfg.Tracer = kids[c]
+		cfg.Obs = opts.Obs
 		switch method {
 		case 0:
 			// EigenTrust cost: the recursive matrix calculation's
@@ -331,6 +350,9 @@ func Fig13(opts Options) (*Table, error) {
 			meter.Get(metrics.CostBoundCheck) +
 			meter.Get(metrics.CostPairCheck)
 	})
+	if err := opts.Tracer.Join(kids); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

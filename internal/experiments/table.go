@@ -14,6 +14,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"github.com/p2psim/collusion/internal/obs"
 )
 
 // Table is a rendered experiment result.
@@ -165,6 +167,16 @@ type Options struct {
 	// byte-identical artifacts: cell RNG seeds derive only from Seed and
 	// the cell index, and reductions walk cells in index order.
 	Workers int
+	// Tracer, if enabled, threads the observability run trace through
+	// every simulation a driver performs. Cell-parallel figures fork one
+	// buffered child tracer per cell and join them in cell order, so the
+	// combined trace stays byte-identical for every Workers.
+	Tracer *obs.Tracer
+	// Obs, if non-nil, collects run histograms (EigenTrust iterations,
+	// rating-pair frequencies, DHT lookup hops) across every simulation a
+	// driver performs. Runs only record into histograms, which are
+	// order-independent, so one registry is safe under cell parallelism.
+	Obs *obs.Registry
 }
 
 // DefaultOptions mirrors the paper's averaging (5 runs).

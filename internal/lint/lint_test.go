@@ -120,6 +120,25 @@ func TestDeterminismUnrestrictedTreeSilent(t *testing.T) {
 	}
 }
 
+// TestDeterminismObsRestricted proves the observability package is a
+// seeded tree: the dirty fixture under internal/obs yields the same
+// findings as under internal/core.
+func TestDeterminismObsRestricted(t *testing.T) {
+	pkg := loadFixture(t, "determinism", "internal/obs/lintfixture")
+	checkFixture(t, lint.DeterminismAnalyzer, pkg)
+}
+
+// TestDeterminismProfExempt proves the explicitly-unseeded profiling
+// harness is carved out: the same dirty fixture under internal/obs/prof
+// yields no findings.
+func TestDeterminismProfExempt(t *testing.T) {
+	pkg := loadFixture(t, "determinism", "internal/obs/prof/lintfixture")
+	findings := lint.Run([]*lint.Analyzer{lint.DeterminismAnalyzer}, []*lint.Package{pkg})
+	if len(findings) != 0 {
+		t.Fatalf("determinism fired in the exempt profiling harness: %v", findings)
+	}
+}
+
 func TestErrDropFixture(t *testing.T) {
 	pkg := loadFixture(t, "errdrop", "internal/lintfixture/errdrop")
 	checkFixture(t, lint.ErrDropAnalyzer, pkg)

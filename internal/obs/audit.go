@@ -1,0 +1,98 @@
+package obs
+
+// Audit gate labels shared by the detectors. Each names the first
+// threshold gate of the paper's collusion model (§IV) that the examined
+// pair failed — or GateFlagged when every gate passed. The labels answer
+// "why wasn't (i,j) flagged in cycle c?" directly from the trace.
+const (
+	// GateFlagged: every gate passed; the pair was detected.
+	GateFlagged = "flagged"
+	// GateTNForward: N_(i,j) < T_N — j does not rate i frequently (C4).
+	GateTNForward = "tn_forward"
+	// GateTAForward: a_(i,j) < T_a — j's ratings of i are not almost
+	// always positive (C3).
+	GateTAForward = "ta_forward"
+	// GateTBForward: the strict rule demanded i's outside share be low
+	// (< T_b, C2) and it was not.
+	GateTBForward = "tb_forward"
+	// GateTNReverse / GateTAReverse: the symmetric screen on a_(j,i).
+	GateTNReverse = "tn_reverse"
+	GateTAReverse = "ta_reverse"
+	// GateTBReverse: the strict rule's outside test on j failed.
+	GateTBReverse = "tb_reverse"
+	// GateTBOutside: the default rule's outside test failed on every
+	// evaluated side — neither node looks propped up by the other.
+	GateTBOutside = "tb_outside"
+	// GateTN / GateTA: the optimized method's combined frequency /
+	// positivity screens (both directions read together).
+	GateTN = "tn"
+	GateTA = "ta"
+	// GateBound: the Formula (2) reputation-interval check failed on the
+	// side(s) the optimized rule required.
+	GateBound = "bound"
+	// GateBoundForward / GateBoundReverse: which side failed under the
+	// strict optimized rule, where the checks run in order.
+	GateBoundForward = "bound_forward"
+	GateBoundReverse = "bound_reverse"
+)
+
+// PairAudit is one detector decision about a candidate pair (I, J): which
+// threshold gate it stopped at and the observed values of every statistic
+// the cascade consults. Fields the examined gate never reached are still
+// reported (they are O(1) ledger reads), so the trail explains not just
+// the failing gate but the full picture the detector saw.
+type PairAudit struct {
+	// Detector is the detector's Name().
+	Detector string
+	// I, J are the examined pair, I < J.
+	I, J int
+	// Gate is the first failing gate label, or GateFlagged.
+	Gate string
+	// NIJ, NJI are the pair rating counts N_(i,j) / N_(j,i).
+	NIJ, NJI int
+	// AIJ, AJI are the pair positive shares (zero when the count is zero).
+	AIJ, AJI float64
+	// NI, NJ are the total ratings each node received.
+	NI, NJ int
+	// RI, RJ are the summation reputations.
+	RI, RJ float64
+	// OutPosI/OutTotI and OutPosJ/OutTotJ are each node's outside ratings
+	// — positives and total received from everyone but the partner (the
+	// b statistic of C2).
+	OutPosI, OutTotI int
+	OutPosJ, OutTotJ int
+	// LoI, HiI, LoJ, HiJ are the Formula (2) reputation bounds each side
+	// was (or would have been) checked against; zero for detectors that
+	// never evaluate them.
+	LoI, HiI, LoJ, HiJ float64
+}
+
+// PairAudit emits a "pair_audit" event carrying the decision.
+func (t *Tracer) PairAudit(a PairAudit) {
+	if !t.Enabled() {
+		return
+	}
+	t.Emit("pair_audit",
+		Str("detector", a.Detector),
+		Int("i", a.I),
+		Int("j", a.J),
+		Str("gate", a.Gate),
+		Bool("flagged", a.Gate == GateFlagged),
+		Int("n_ij", a.NIJ),
+		Int("n_ji", a.NJI),
+		Float("a_ij", a.AIJ),
+		Float("a_ji", a.AJI),
+		Int("n_i", a.NI),
+		Int("n_j", a.NJ),
+		Float("r_i", a.RI),
+		Float("r_j", a.RJ),
+		Int("out_pos_i", a.OutPosI),
+		Int("out_tot_i", a.OutTotI),
+		Int("out_pos_j", a.OutPosJ),
+		Int("out_tot_j", a.OutTotJ),
+		Float("lo_i", a.LoI),
+		Float("hi_i", a.HiI),
+		Float("lo_j", a.LoJ),
+		Float("hi_j", a.HiJ),
+	)
+}

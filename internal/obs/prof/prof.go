@@ -1,0 +1,60 @@
+// Package prof is the explicitly-unseeded profiling harness: the one
+// place in the repository allowed to read the wall clock and drive pprof.
+// The colsimlint determinism analyzer restricts internal/obs but exempts
+// this subtree — timing and profiles measure the host machine, never feed
+// back into simulation state, and are expected to differ between runs.
+// Nothing here may be imported by code that influences seeded results;
+// the simulator only ever receives an opaque obs.TimerFunc whose
+// measurements flow one way, into a histogram.
+package prof
+
+import (
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"github.com/p2psim/collusion/internal/obs"
+)
+
+// DetectTimer returns a TimerFunc that records wall-clock nanoseconds per
+// measured section into h. A nil histogram yields a no-op timer.
+func DetectTimer(h *obs.Histogram) obs.TimerFunc {
+	if h == nil {
+		return func() func() { return func() {} }
+	}
+	return func() func() {
+		start := time.Now()
+		return func() { h.Observe(time.Since(start).Nanoseconds()) }
+	}
+}
+
+// StartCPUProfile begins a CPU profile written to path and returns the
+// function that stops the profile and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes a heap profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := pprof.WriteHeapProfile(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

@@ -1,0 +1,71 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/p2psim/collusion/internal/obs"
+)
+
+func TestDetectTimerNilHistogram(t *testing.T) {
+	stop := DetectTimer(nil)()
+	stop() // must be a safe no-op
+}
+
+func TestDetectTimerRecords(t *testing.T) {
+	var h obs.Histogram
+	timer := DetectTimer(&h)
+	for i := 0; i < 3; i++ {
+		stop := timer()
+		stop()
+	}
+	if h.Count() != 3 {
+		t.Fatalf("recorded %d sections, want 3", h.Count())
+	}
+	if h.Sum() < 0 {
+		t.Fatalf("negative wall-clock sum %d", h.Sum())
+	}
+}
+
+func TestCPUProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := StartCPUProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second profile cannot start while one is running.
+	if _, err := StartCPUProfile(filepath.Join(t.TempDir(), "x.pprof")); err == nil {
+		t.Error("concurrent CPU profile accepted")
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("CPU profile is empty")
+	}
+	if _, err := StartCPUProfile(filepath.Join(t.TempDir(), "no", "dir", "cpu.pprof")); err == nil {
+		t.Fatal("profiling into a missing directory succeeded")
+	}
+}
+
+func TestWriteHeapProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.pprof")
+	if err := WriteHeapProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("heap profile is empty")
+	}
+	if err := WriteHeapProfile(filepath.Join(t.TempDir(), "no", "dir", "mem.pprof")); err == nil {
+		t.Fatal("writing into a missing directory succeeded")
+	}
+}

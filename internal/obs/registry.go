@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/p2psim/collusion/internal/metrics"
+)
+
+// Registry unifies the cost meter's counters with gauges and log-bucketed
+// histograms behind one export surface (Prometheus text and JSON). The
+// zero value is not usable; construct with NewRegistry. All methods are
+// safe for concurrent use, and every recording primitive is atomic and
+// order-independent, so parallel runs export identical values regardless
+// of interleaving.
+type Registry struct {
+	meter *metrics.CostMeter
+
+	mu     sync.Mutex
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry wraps the given cost meter (a fresh one when nil).
+func NewRegistry(m *metrics.CostMeter) *Registry {
+	if m == nil {
+		m = &metrics.CostMeter{}
+	}
+	return &Registry{
+		meter:  m,
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Meter returns the underlying cost meter, for wiring into detectors and
+// engines that charge operation counts.
+func (r *Registry) Meter() *metrics.CostMeter {
+	if r == nil {
+		return nil
+	}
+	return r.meter
+}
+
+// Gauge returns (creating on first use) the named gauge. Nil-safe: a nil
+// registry yields a nil gauge whose methods are no-ops.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram. Nil-safe
+// like Gauge.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Gauge is a settable float value. A nil gauge is a valid no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last value set (zero initially).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts int64 observations in power-of-two buckets: bucket 0
+// holds observations <= 0 and bucket k >= 1 holds [2^(k-1), 2^k - 1].
+// Log bucketing keeps the footprint fixed (65 counters) across the many
+// orders of magnitude the observed quantities span — pair rating
+// frequencies, EigenTrust iteration counts, DHT hops, detection
+// nanoseconds — and recording is a single atomic add per bucket, so
+// concurrent observation is order-independent. A nil histogram is a valid
+// no-op.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [65]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.buckets[idx].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// BucketCount is one non-empty histogram bucket: Count observations were
+// <= Upper (and greater than the previous bucket's Upper).
+type BucketCount struct {
+	Upper int64 `json:"upper"`
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending Upper order. Bucket
+// upper bounds are 0, 1, 3, 7, ..., 2^k - 1.
+func (h *Histogram) Buckets() []BucketCount {
+	if h == nil {
+		return nil
+	}
+	var out []BucketCount
+	for k := range h.buckets {
+		c := h.buckets[k].Load()
+		if c == 0 {
+			continue
+		}
+		upper := int64(0)
+		if k > 0 {
+			if k >= 64 {
+				upper = math.MaxInt64
+			} else {
+				upper = int64(1)<<k - 1
+			}
+		}
+		out = append(out, BucketCount{Upper: upper, Count: c})
+	}
+	return out
+}
+
+// sortedKeys returns the map's keys ascending, for deterministic export.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// snapshot captures the registry's gauges and histograms under the lock so
+// exporters can walk them without holding it.
+func (r *Registry) snapshot() (gauges map[string]*Gauge, hists map[string]*Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gauges = make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists = make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	return gauges, hists
+}
+
+// WritePrometheus renders every counter, gauge and histogram in the
+// Prometheus text exposition format, metric names prefixed with colsim_
+// and dots replaced by underscores. Output order is deterministic
+// (counters, gauges, histograms; each sorted by name).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b bytes.Buffer
+	counters := r.meter.Snapshot()
+	for _, name := range sortedKeys(counters) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name])
+	}
+	gauges, hists := r.snapshot()
+	for _, name := range sortedKeys(gauges) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", pn, pn,
+			formatFloat(gauges[name].Value()))
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		pn := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		cum := int64(0)
+		for _, bc := range h.Buckets() {
+			cum += bc.Count
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", pn, bc.Upper, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count())
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", pn, h.Sum(), pn, h.Count())
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// jsonExport is the WriteJSON document shape. Slices, not maps, so the
+// encoded byte order is exactly the sorted-name order.
+type jsonExport struct {
+	Counters   []jsonCounter   `json:"counters"`
+	Gauges     []jsonGauge     `json:"gauges"`
+	Histograms []jsonHistogram `json:"histograms"`
+}
+
+type jsonCounter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type jsonGauge struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+type jsonHistogram struct {
+	Name    string        `json:"name"`
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// WriteJSON renders the registry as one indented JSON document with
+// counters, gauges and histograms each sorted by name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := jsonExport{
+		Counters:   []jsonCounter{},
+		Gauges:     []jsonGauge{},
+		Histograms: []jsonHistogram{},
+	}
+	counters := r.meter.Snapshot()
+	for _, name := range sortedKeys(counters) {
+		doc.Counters = append(doc.Counters, jsonCounter{Name: name, Value: counters[name]})
+	}
+	gauges, hists := r.snapshot()
+	for _, name := range sortedKeys(gauges) {
+		doc.Gauges = append(doc.Gauges, jsonGauge{Name: name, Value: gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		buckets := h.Buckets()
+		if buckets == nil {
+			buckets = []BucketCount{}
+		}
+		doc.Histograms = append(doc.Histograms, jsonHistogram{
+			Name: name, Count: h.Count(), Sum: h.Sum(), Buckets: buckets,
+		})
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = w.Write(out)
+	return err
+}
+
+// WriteFile exports the registry to path, choosing the format by
+// extension: Prometheus text when path ends in ".prom", indented JSON
+// otherwise. The harness -metrics flags funnel through here.
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".prom") {
+		werr = r.WritePrometheus(f)
+	} else {
+		werr = r.WriteJSON(f)
+	}
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// promName converts a dotted metric name to a Prometheus-safe identifier.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("colsim_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a gauge value in canonical shortest form.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

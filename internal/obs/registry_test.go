@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/p2psim/collusion/internal/metrics"
+)
+
+// TestNilRegistry pins the nil-safety chain the wiring code relies on: a
+// nil registry yields nil gauges and histograms whose methods no-op.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	if r.Meter() != nil {
+		t.Error("nil registry has a meter")
+	}
+	g := r.Gauge("x")
+	if g != nil {
+		t.Fatal("nil registry returned a live gauge")
+	}
+	g.Set(5)
+	if g.Value() != 0 {
+		t.Error("nil gauge stored a value")
+	}
+	h := r.Histogram("x")
+	if h != nil {
+		t.Fatal("nil registry returned a live histogram")
+	}
+	h.Observe(5)
+	if h.Count() != 0 || h.Sum() != 0 || h.Buckets() != nil {
+		t.Error("nil histogram recorded an observation")
+	}
+}
+
+func TestRegistryMeter(t *testing.T) {
+	var m metrics.CostMeter
+	if NewRegistry(&m).Meter() != &m {
+		t.Error("registry did not keep the provided meter")
+	}
+	if NewRegistry(nil).Meter() == nil {
+		t.Error("registry did not substitute a fresh meter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry(nil)
+	g := r.Gauge("run.flagged_total")
+	if g.Value() != 0 {
+		t.Fatalf("fresh gauge = %v", g.Value())
+	}
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", g.Value())
+	}
+	if r.Gauge("run.flagged_total") != g {
+		t.Fatal("re-getting a gauge returned a different instance")
+	}
+}
+
+// TestHistogramBuckets pins the power-of-two bucket layout: bucket 0
+// holds v <= 0 and bucket k holds [2^(k-1), 2^k - 1].
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry(nil)
+	h := r.Histogram("dht.lookup_hops")
+	for _, v := range []int64{-1, 0, 1, 2, 3, 8} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 13 {
+		t.Fatalf("count=%d sum=%d, want 6/13", h.Count(), h.Sum())
+	}
+	want := []BucketCount{{Upper: 0, Count: 2}, {Upper: 1, Count: 1}, {Upper: 3, Count: 2}, {Upper: 15, Count: 1}}
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if r.Histogram("dht.lookup_hops") != h {
+		t.Fatal("re-getting a histogram returned a different instance")
+	}
+}
+
+func TestHistogramMaxValue(t *testing.T) {
+	var h Histogram
+	h.Observe(math.MaxInt64)
+	b := h.Buckets()
+	if len(b) != 1 || b[0].Upper != math.MaxInt64 || b[0].Count != 1 {
+		t.Fatalf("MaxInt64 bucket = %+v", b)
+	}
+}
+
+// populated builds a registry with one of each metric kind for the
+// exporter tests.
+func populated() *Registry {
+	var m metrics.CostMeter
+	m.Add(metrics.CostPairCheck, 7)
+	r := NewRegistry(&m)
+	r.Gauge("run.flagged_total").Set(3)
+	h := r.Histogram("dht.lookup_hops")
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(5)
+	return r
+}
+
+// TestWritePrometheus pins the exposition format byte-for-byte: sorted
+// sections, colsim_ prefix, dots to underscores, cumulative buckets.
+func TestWritePrometheus(t *testing.T) {
+	r := populated()
+	var out bytes.Buffer
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE colsim_detector_pair_check counter\n" +
+		"colsim_detector_pair_check 7\n" +
+		"# TYPE colsim_run_flagged_total gauge\n" +
+		"colsim_run_flagged_total 3\n" +
+		"# TYPE colsim_dht_lookup_hops histogram\n" +
+		"colsim_dht_lookup_hops_bucket{le=\"1\"} 1\n" +
+		"colsim_dht_lookup_hops_bucket{le=\"3\"} 2\n" +
+		"colsim_dht_lookup_hops_bucket{le=\"7\"} 3\n" +
+		"colsim_dht_lookup_hops_bucket{le=\"+Inf\"} 3\n" +
+		"colsim_dht_lookup_hops_sum 8\n" +
+		"colsim_dht_lookup_hops_count 3\n"
+	if out.String() != want {
+		t.Fatalf("prometheus export drifted:\n got %q\nwant %q", out.String(), want)
+	}
+	var again bytes.Buffer
+	if err := r.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Fatal("repeated export is not byte-identical")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := populated()
+	var out bytes.Buffer
+	if err := r.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+		Gauges []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"gauges"`
+		Histograms []struct {
+			Name    string        `json:"name"`
+			Count   int64         `json:"count"`
+			Sum     int64         `json:"sum"`
+			Buckets []BucketCount `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Counters) != 1 || doc.Counters[0].Name != metrics.CostPairCheck || doc.Counters[0].Value != 7 {
+		t.Fatalf("counters = %+v", doc.Counters)
+	}
+	if len(doc.Gauges) != 1 || doc.Gauges[0].Value != 3 {
+		t.Fatalf("gauges = %+v", doc.Gauges)
+	}
+	if len(doc.Histograms) != 1 || doc.Histograms[0].Count != 3 || doc.Histograms[0].Sum != 8 {
+		t.Fatalf("histograms = %+v", doc.Histograms)
+	}
+	if len(doc.Histograms[0].Buckets) != 3 {
+		t.Fatalf("buckets = %+v", doc.Histograms[0].Buckets)
+	}
+	var again bytes.Buffer
+	if err := r.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Fatal("repeated export is not byte-identical")
+	}
+}
+
+// TestWriteJSONEmptyRegistry pins that empty sections encode as [] (not
+// null), so consumers can range without nil checks.
+func TestWriteJSONEmptyRegistry(t *testing.T) {
+	var out bytes.Buffer
+	if err := NewRegistry(nil).WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{`"counters": []`, `"gauges": []`, `"histograms": []`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("empty export missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWriteFileFormats(t *testing.T) {
+	r := populated()
+	dir := t.TempDir()
+	promPath := filepath.Join(dir, "m.prom")
+	if err := r.WriteFile(promPath); err != nil {
+		t.Fatal(err)
+	}
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(prom, []byte("# TYPE colsim_")) {
+		t.Fatalf(".prom file not in exposition format: %q", prom[:40])
+	}
+	jsonPath := filepath.Join(dir, "m.json")
+	if err := r.WriteFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("default-format file is not valid JSON")
+	}
+	if err := r.WriteFile(filepath.Join(dir, "no", "such", "m.json")); err == nil {
+		t.Fatal("writing into a missing directory succeeded")
+	}
+}
+
+var errWriterBroken = errors.New("writer broken")
+
+type brokenWriter struct{}
+
+func (brokenWriter) Write(p []byte) (int, error) { return 0, errWriterBroken }
+
+func TestExportersPropagateWriteErrors(t *testing.T) {
+	r := populated()
+	if err := r.WritePrometheus(brokenWriter{}); !errors.Is(err, errWriterBroken) {
+		t.Errorf("WritePrometheus error = %v", err)
+	}
+	if err := r.WriteJSON(brokenWriter{}); !errors.Is(err, errWriterBroken) {
+		t.Errorf("WriteJSON error = %v", err)
+	}
+}

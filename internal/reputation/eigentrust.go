@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/obs"
 	"github.com/p2psim/collusion/internal/parallel"
 )
 
@@ -49,6 +50,9 @@ type EigenTrust struct {
 	Workers int
 	// Meter, if non-nil, accumulates the iteration cost.
 	Meter *metrics.CostMeter
+	// IterObs, if non-nil, observes the power-iteration count of every
+	// Scores call — the per-cycle convergence view of the cost model.
+	IterObs *obs.Histogram
 
 	// iterations records the iteration count of the last Scores call,
 	// exposed for the cost experiments.
@@ -153,6 +157,7 @@ func (e *EigenTrust) Scores(l *Ledger) []float64 {
 			break
 		}
 	}
+	e.IterObs.Observe(int64(e.iterations))
 	return t
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"github.com/p2psim/collusion/internal/core"
 	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/obs"
 	"github.com/p2psim/collusion/internal/overlay"
 )
 
@@ -192,6 +193,26 @@ type Config struct {
 	// OnRating, if non-nil, observes every rating as it is recorded —
 	// the feed a live decentralized deployment would receive.
 	OnRating func(rater, target, polarity int)
+	// Tracer, if enabled, receives the structured run trace: a run_start
+	// event, one cycle_summary per simulation cycle, and the decision
+	// audits of the configured detector. Events are stamped with the
+	// simulation cycle, never the wall clock, so a seeded run produces a
+	// byte-identical trace on every replay. A nil tracer costs nothing.
+	// Unlike OnCycle/OnRating, a tracer does not force averaged runs
+	// sequential: RunAveragedParallel forks one buffered child per run and
+	// joins them in run order.
+	Tracer *obs.Tracer
+	// Obs, if non-nil, collects run histograms: EigenTrust iteration
+	// counts per scoring pass and the rating-pair frequency distribution
+	// of the final ledger. Runs only record into histograms (atomic,
+	// order-independent), never set gauges, so one registry may be shared
+	// by concurrent averaged runs.
+	Obs *obs.Registry
+	// CycleTimer, if non-nil, brackets every per-cycle detection pass.
+	// Implementations that read the wall clock live in internal/obs/prof,
+	// outside the seeded trees; timing never feeds back into the
+	// simulation or its trace.
+	CycleTimer obs.TimerFunc
 }
 
 // SimThresholds returns detection thresholds calibrated to the Section V

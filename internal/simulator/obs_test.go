@@ -1,0 +1,125 @@
+package simulator
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/p2psim/collusion/internal/obs"
+)
+
+// tracedConfig is smallConfig with a detector attached and colluders
+// aggressive enough that the trace contains flagged pairs.
+func tracedConfig() Config {
+	cfg := smallConfig()
+	cfg.Pretrusted = nil
+	cfg.Colluders = []int{0, 1, 2, 3, 4, 5, 6, 7}
+	cfg.ColluderGoodProb = 0.2
+	cfg.Engine = EngineSummation
+	cfg.Detector = DetectorOptimized
+	return cfg
+}
+
+// TestTraceByteIdentical pins the tentpole determinism claim: a seeded
+// run produces the same trace bytes on every repeat, and the averaged
+// engine produces the same trace bytes for every worker count.
+func TestTraceByteIdentical(t *testing.T) {
+	single := func() []byte {
+		var sink obs.BufferSink
+		cfg := tracedConfig()
+		cfg.Tracer = obs.NewTracer(&sink)
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return sink.Bytes()
+	}
+	a, b := single(), single()
+	if len(a) == 0 {
+		t.Fatal("traced run produced no events")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("repeated seeded runs produced different traces")
+	}
+
+	averaged := func(workers int) []byte {
+		var sink obs.BufferSink
+		cfg := tracedConfig()
+		cfg.Tracer = obs.NewTracer(&sink)
+		if _, err := RunAveragedParallel(cfg, 4, workers); err != nil {
+			t.Fatal(err)
+		}
+		return sink.Bytes()
+	}
+	w1, w4 := averaged(1), averaged(4)
+	if len(w1) == 0 {
+		t.Fatal("averaged run produced no events")
+	}
+	if !bytes.Equal(w1, w4) {
+		t.Fatal("worker count changed the averaged trace bytes")
+	}
+}
+
+// brokenSink fails every write, simulating a full disk under -trace.
+type brokenSink struct{}
+
+var errDiskFull = errors.New("disk full")
+
+func (brokenSink) WriteTrace(p []byte) error { return errDiskFull }
+func (brokenSink) Close() error              { return nil }
+
+// TestTraceSinkFailureSurfaces pins the failure contract: a failing
+// trace sink turns into a run error instead of a silently truncated
+// trace, for both the single-run and the parallel averaged paths.
+func TestTraceSinkFailureSurfaces(t *testing.T) {
+	cfg := tracedConfig()
+	cfg.Tracer = obs.NewTracer(brokenSink{})
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "trace sink failed") {
+		t.Fatalf("single run error = %v, want trace sink failure", err)
+	}
+	// Parallel runs buffer per run and hit the broken sink at Join.
+	if _, err := RunAveragedParallel(cfg, 2, 2); err == nil || !strings.Contains(err.Error(), "trace sink failed") {
+		t.Fatalf("averaged run error = %v, want trace sink failure", err)
+	}
+}
+
+// TestAuditExplainsEveryFlaggedPair pins the audit-trail completeness
+// criterion: every pair the run reports as detected has a pair_audit
+// event in the trace with gate "flagged".
+func TestAuditExplainsEveryFlaggedPair(t *testing.T) {
+	var sink obs.BufferSink
+	cfg := tracedConfig()
+	cfg.Tracer = obs.NewTracer(&sink)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DetectedPairs) == 0 {
+		t.Fatal("run detected no pairs; the test would be vacuous")
+	}
+	type audit struct {
+		Type    string `json:"type"`
+		I       int    `json:"i"`
+		J       int    `json:"j"`
+		Flagged bool   `json:"flagged"`
+	}
+	flagged := map[[2]int]bool{}
+	for _, line := range bytes.Split(sink.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var a audit
+		if err := json.Unmarshal(line, &a); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		if a.Type == "pair_audit" && a.Flagged {
+			flagged[[2]int{a.I, a.J}] = true
+		}
+	}
+	for _, e := range res.DetectedPairs {
+		if !flagged[[2]int{e.I, e.J}] {
+			t.Errorf("detected pair (%d,%d) has no flagged pair_audit event", e.I, e.J)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/p2psim/collusion/internal/core"
+	"github.com/p2psim/collusion/internal/obs"
 	"github.com/p2psim/collusion/internal/overlay"
 	"github.com/p2psim/collusion/internal/parallel"
 	"github.com/p2psim/collusion/internal/reputation"
@@ -58,19 +59,45 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	tr := cfg.Tracer
+	if tr.Enabled() {
+		tr.SetCycle(0)
+		tr.Emit("run_start",
+			obs.I64("seed", int64(cfg.Seed)),
+			obs.Int("nodes", cfg.Overlay.Nodes),
+			obs.Str("engine", cfg.Engine.String()),
+			obs.Str("detector", cfg.Detector.String()),
+			obs.Int("sim_cycles", cfg.SimCycles),
+			obs.Int("query_cycles", cfg.QueryCycles))
+	}
+	prevRequests, prevRatings, prevFlags := 0, 0, 0
 	for cycle := 1; cycle <= cfg.SimCycles; cycle++ {
 		s.cycle = cycle
+		tr.SetCycle(cycle)
 		for q := 0; q < cfg.QueryCycles; q++ {
 			s.queryCycle()
 		}
 		s.updateReputations()
-		s.runDetection()
+		s.detect()
+		if tr.Enabled() {
+			flags := countTrue(s.flagged)
+			tr.Emit("cycle_summary",
+				obs.Int("requests", s.requestsTotal-prevRequests),
+				obs.Int("ratings", s.ratings-prevRatings),
+				obs.Int("new_flags", flags-prevFlags),
+				obs.Int("flagged_total", flags))
+			prevRequests, prevRatings, prevFlags = s.requestsTotal, s.ratings, flags
+		}
 		if cfg.OnCycle != nil {
 			cfg.OnCycle(cycle, s.scores)
 		}
 		if s.windowed != nil && cycle < cfg.SimCycles {
 			s.windowed.Advance()
 		}
+	}
+	s.observePairFrequencies()
+	if err := tr.Err(); err != nil {
+		return nil, fmt.Errorf("simulator: trace sink failed: %w", err)
 	}
 	return s.result(), nil
 }
@@ -209,6 +236,7 @@ func newState(cfg Config) (*state, error) {
 		et := reputation.NewEigenTrust(cfg.Pretrusted)
 		et.Alpha = cfg.EigenTrustAlpha
 		et.Workers = cfg.Workers
+		et.IterObs = cfg.Obs.Histogram("eigentrust.iterations")
 		// Server selection only needs score ordering, so the iteration can
 		// stop at modest precision — the paper notes the matrix "normally
 		// can converge within several iterations".
@@ -221,18 +249,22 @@ func newState(cfg Config) (*state, error) {
 	case DetectorBasic:
 		d := core.NewBasic(cfg.thresholds())
 		d.Meter = cfg.Meter
+		d.Trace = cfg.Tracer
 		s.det = d
 	case DetectorOptimized:
 		d := core.NewOptimized(cfg.thresholds())
 		d.Meter = cfg.Meter
+		d.Trace = cfg.Tracer
 		s.det = d
 	case DetectorGroup:
 		d := core.NewGroupDetector(cfg.thresholds())
 		d.Meter = cfg.Meter
+		d.Trace = cfg.Tracer
 		s.groupD = d
 	case DetectorSybil:
 		d := core.NewSybilDetector(cfg.thresholds())
 		d.Meter = cfg.Meter
+		d.Trace = cfg.Tracer
 		s.sybilD = d
 	}
 	return s, nil
@@ -373,6 +405,50 @@ func (s *state) updateReputations() {
 			s.scores[i] = 0
 		}
 	}
+}
+
+// detect runs the detection pass, bracketed by the configured cycle timer
+// when one is attached.
+func (s *state) detect() {
+	if s.cfg.CycleTimer != nil {
+		stop := s.cfg.CycleTimer()
+		s.runDetection()
+		stop()
+		return
+	}
+	s.runDetection()
+}
+
+// observePairFrequencies records every nonzero rating-pair count of the
+// cumulative ledger into the registry's pair-frequency histogram — the
+// distribution behind the T_N threshold choice (colluding pairs sit far in
+// the right tail; organic pairs near 1).
+func (s *state) observePairFrequencies() {
+	h := s.cfg.Obs.Histogram("ratings.pair_frequency")
+	if h == nil {
+		return
+	}
+	n := s.ledger.Size()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if c := s.ledger.PairTotal(i, j); c > 0 {
+				h.Observe(int64(c))
+			}
+		}
+	}
+}
+
+func countTrue(xs []bool) int {
+	n := 0
+	for _, x := range xs {
+		if x {
+			n++
+		}
+	}
+	return n
 }
 
 // runDetection executes the configured detector over the cumulative period
@@ -523,6 +599,9 @@ func RunAveraged(cfg Config, runs int) (*AveragedResult, error) {
 // addition happens in the same order as the sequential loop. When
 // cfg.OnCycle or cfg.OnRating observers are attached the runs execute
 // sequentially, since observers are not required to be concurrency-safe.
+// A cfg.Tracer does NOT force sequential execution: each run traces into
+// its own forked buffer, and the buffers are joined in run order, so the
+// combined trace is byte-identical for every worker count.
 func RunAveragedParallel(cfg Config, runs, workers int) (*AveragedResult, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("simulator: runs = %d, want >= 1", runs)
@@ -530,13 +609,18 @@ func RunAveragedParallel(cfg Config, runs, workers int) (*AveragedResult, error)
 	if cfg.OnCycle != nil || cfg.OnRating != nil {
 		workers = 1
 	}
+	kids := cfg.Tracer.Fork(runs)
 	results := make([]*Result, runs)
 	errs := make([]error, runs)
 	parallel.ForEach(workers, runs, func(k int) {
 		runCfg := cfg
 		runCfg.Seed = cfg.Seed + uint64(k)*0x9e3779b97f4a7c15
+		runCfg.Tracer = kids[k]
 		results[k], errs[k] = Run(runCfg)
 	})
+	if err := cfg.Tracer.Join(kids); err != nil {
+		return nil, fmt.Errorf("simulator: trace sink failed: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
