@@ -25,17 +25,23 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Benchmarks that feed the checked-in baseline: the detection hot path
+# plus the ledger memory-footprint benchmark that pins the CSR storage.
+BENCH_PATTERN = Detect|LedgerFootprint
+BENCH_PKGS = ./internal/core/ ./internal/reputation/
+
 # Refresh the checked-in detector benchmark baseline. Runs the detection
 # hot-path benchmarks and stores name/ns_per_op/bytes_per_op/allocs_per_op
 # as JSON so perf regressions show up in review diffs.
 bench-save:
-	$(GO) test -run '^$$' -bench 'Detect' -benchmem ./internal/core/ \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson > BENCH_detect.json
 
 # Gate the detection hot path against the checked-in baseline: fail on
-# any benchmark more than 20% slower than BENCH_detect.json.
+# any benchmark more than 20% slower (ns/op) or more than 20% hungrier
+# (bytes/op) than BENCH_detect.json.
 bench-compare:
-	$(GO) test -run '^$$' -bench 'Detect' -benchmem ./internal/core/ \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson > bench_new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_detect.json bench_new.json
 
@@ -48,14 +54,17 @@ cover:
 	echo "internal/obs coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { if (t + 0 < 70) { print "coverage below 70%"; exit 1 } }'
 
-# Run every fuzz target under internal/trace for a short burst each; the
+# Run every fuzz target in the fuzzed packages for a short burst each; the
 # target list is discovered dynamically so new Fuzz* functions are picked
 # up automatically.
+FUZZ_PKGS = ./internal/trace/ ./internal/reputation/
 fuzz:
 	@set -e; \
-	for t in $$($(GO) test -list '^Fuzz' ./internal/trace/ | grep '^Fuzz'); do \
-		echo "==> $$t"; \
-		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime=$(FUZZTIME) ./internal/trace/; \
+	for pkg in $(FUZZ_PKGS); do \
+		for t in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			echo "==> $$pkg $$t"; \
+			$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime=$(FUZZTIME) $$pkg; \
+		done; \
 	done
 
 # Regenerate every paper figure (text tables + CSVs under results/).

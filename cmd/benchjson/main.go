@@ -20,7 +20,9 @@
 //	benchjson -compare BENCH_detect.json new.json
 //
 // It exits non-zero when any benchmark present in both files regressed by
-// more than 20% in ns/op. Benchmarks present in only one file are
+// more than 20% in ns/op or in bytes/op (the memory gate only applies when
+// the baseline recorded a nonzero bytes_per_op, so -benchmem-less
+// baselines stay comparable). Benchmarks present in only one file are
 // reported but do not fail the comparison (baselines are refreshed with
 // `make bench-save` when benchmarks are added or removed).
 package main
@@ -47,7 +49,7 @@ type Bench struct {
 
 func main() {
 	compare := flag.Bool("compare", false,
-		"compare two benchmark JSON files (old new); exit non-zero on >20% ns/op regressions")
+		"compare two benchmark JSON files (old new); exit non-zero on >20% ns/op or bytes/op regressions")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
@@ -70,8 +72,10 @@ func main() {
 	}
 }
 
-// RegressionThreshold is the ns/op growth factor beyond which -compare
-// fails: 1.20 tolerates CI-runner noise while catching real slowdowns.
+// RegressionThreshold is the growth factor beyond which -compare fails —
+// applied to ns/op always, and to bytes/op when the baseline recorded a
+// nonzero value: 1.20 tolerates CI-runner noise while catching real
+// slowdowns and allocation regressions.
 const RegressionThreshold = 1.20
 
 // runCompare loads two benchmark JSON files and reports per-benchmark
@@ -91,7 +95,8 @@ func runCompare(oldPath, newPath string, w io.Writer) (regressed bool, err error
 
 // Compare writes a delta report for every benchmark in either slice and
 // returns true when a benchmark present in both regressed by more than
-// RegressionThreshold in ns/op.
+// RegressionThreshold in ns/op, or in bytes/op for benchmarks whose
+// baseline recorded a nonzero byte count.
 func Compare(oldB, newB []Bench, w io.Writer) bool {
 	oldByName := make(map[string]Bench, len(oldB))
 	for _, b := range oldB {
@@ -119,6 +124,17 @@ func Compare(oldB, newB []Bench, w io.Writer) bool {
 		}
 		fmt.Fprintf(w, "%s %-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
 			status, nb.Name, ob.NsPerOp, nb.NsPerOp, 100*(ratio-1))
+		// Memory gate: only when the baseline measured bytes (a zero
+		// baseline means -benchmem was off, or the benchmark genuinely
+		// allocates nothing — neither can express a 20% growth).
+		if ob.BytesPerOp > 0 {
+			bratio := float64(nb.BytesPerOp) / float64(ob.BytesPerOp)
+			if bratio > RegressionThreshold {
+				regressed = true
+				fmt.Fprintf(w, "FAIL  %-40s %12d -> %12d B/op (%+.1f%%)\n",
+					nb.Name, ob.BytesPerOp, nb.BytesPerOp, 100*(bratio-1))
+			}
+		}
 	}
 	for _, ob := range oldB {
 		if _, ok := newByName[ob.Name]; !ok {

@@ -95,6 +95,37 @@ func TestCompareFlagsRegression(t *testing.T) {
 	}
 }
 
+// TestCompareFlagsBytesRegression pins the memory gate: a benchmark whose
+// ns/op held steady but whose bytes/op grew beyond the threshold fails.
+func TestCompareFlagsBytesRegression(t *testing.T) {
+	oldB := []Bench{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 10000}}
+	newB := []Bench{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 13000}}
+	var out bytes.Buffer
+	if !Compare(oldB, newB, &out) {
+		t.Fatalf("30%% bytes/op growth not flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "B/op") {
+		t.Fatalf("report missing B/op FAIL line:\n%s", out.String())
+	}
+}
+
+// TestCompareBytesWithinThreshold pins that sub-threshold byte growth and
+// zero-byte baselines (no -benchmem, or genuinely allocation-free) pass.
+func TestCompareBytesWithinThreshold(t *testing.T) {
+	oldB := []Bench{
+		{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 10000},
+		{Name: "BenchmarkNoMem", NsPerOp: 500}, // zero baseline: gate off
+	}
+	newB := []Bench{
+		{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 11500},
+		{Name: "BenchmarkNoMem", NsPerOp: 500, BytesPerOp: 4096},
+	}
+	var out bytes.Buffer
+	if Compare(oldB, newB, &out) {
+		t.Fatalf("15%% bytes growth or zero-baseline change flagged:\n%s", out.String())
+	}
+}
+
 // TestCompareUnpairedBenchmarks pins that added/removed benchmarks are
 // reported but never fail the gate — only shared-name regressions do.
 func TestCompareUnpairedBenchmarks(t *testing.T) {

@@ -15,6 +15,9 @@ type (
 	Thresholds = core.Thresholds
 	// Detector is a collusion detection method over a period ledger.
 	Detector = core.Detector
+	// IncrementalDetector is a Detector that can replay memoized per-pair
+	// screens across detection passes over the same evolving ledger.
+	IncrementalDetector = core.IncrementalDetector
 	// Result is a detection outcome: flagged pairs with evidence.
 	Result = core.Result
 	// Evidence describes one detected pair.
@@ -77,6 +80,9 @@ func NewManagerRing(numManagers, population int, t Thresholds, meter *CostMeter)
 type (
 	// Ledger accumulates one period's ratings for a fixed population.
 	Ledger = reputation.Ledger
+	// PairCounts is one target's aligned sparse row view: its active
+	// raters (ascending) with the total/positive/negative rating counts.
+	PairCounts = reputation.PairCounts
 	// Engine computes global reputation scores from a ledger.
 	Engine = reputation.Engine
 	// EigenTrust is the damped power-iteration engine of reference [9].

@@ -303,25 +303,21 @@ func (mr *ManagerRing) RecordLedger(l *reputation.Ledger) error {
 		return fmt.Errorf("core: ledger size %d != population %d", l.Size(), mr.population)
 	}
 	for target := 0; target < mr.population; target++ {
+		pc := l.PairCountsOf(target)
+		if len(pc.Raters) == 0 {
+			continue
+		}
 		m := mr.ownerOf[target]
-		backup := mr.successorManager(m)
-		var r, br *row
-		for rater := 0; rater < mr.population; rater++ {
-			total := l.PairTotal(target, rater)
-			if total == 0 {
-				continue
-			}
-			if r == nil {
-				r = rowFor(m.rows, target)
-				if backup != nil {
-					br = rowFor(backup.replicas, target)
-				}
-			}
-			pos := l.PairPositive(target, rater)
-			neg := l.PairNegative(target, rater)
-			addCounts(r, rater, total, pos, neg)
+		r := rowFor(m.rows, target)
+		var br *row
+		if backup := mr.successorManager(m); backup != nil {
+			br = rowFor(backup.replicas, target)
+		}
+		for k, r32 := range pc.Raters {
+			total, pos, neg := int(pc.Total[k]), int(pc.Pos[k]), int(pc.Neg[k])
+			addCounts(r, int(r32), total, pos, neg)
 			if br != nil {
-				addCounts(br, rater, total, pos, neg)
+				addCounts(br, int(r32), total, pos, neg)
 			}
 		}
 	}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"github.com/p2psim/collusion/internal/metrics"
 	"github.com/p2psim/collusion/internal/obs"
 	"github.com/p2psim/collusion/internal/reputation"
@@ -94,6 +92,152 @@ type Detector interface {
 	Name() string
 }
 
+// IncrementalDetector is a Detector that can additionally reuse per-pair
+// screening work across consecutive detection passes over the same
+// evolving ledger. Both pairwise detectors implement it.
+type IncrementalDetector interface {
+	Detector
+	// DetectIncremental behaves exactly like Detect — identical pairs,
+	// identical meter charges, identical audit events — but memoizes each
+	// examined pair's screen outcome and replays it while neither node's
+	// received-rating row has changed. dirty must list every target whose
+	// row mutated since the previous DetectIncremental call on this
+	// detector (Ledger.DirtyTargets provides it); a superset is safe, a
+	// subset is not. The detector's thresholds must not change between
+	// calls. The returned Result shares the detector's internal buffers
+	// and is valid only until the next DetectIncremental call.
+	DetectIncremental(l *reputation.Ledger, dirty []int) Result
+}
+
+// pairCharges is the metered cost one pair examination accrues beyond the
+// caller's bulk row accounting. Captured explicitly so the incremental
+// cache can replay the exact charges without re-screening.
+type pairCharges struct {
+	scan  int64 // metrics.CostMatrixScan (Basic's outside re-scans + element reads)
+	bound int64 // metrics.CostBoundCheck (Optimized's Formula (2) evaluations)
+}
+
+// pairEntry memoizes one examined pair's screen: valid while both row
+// generations still match, since every statistic the screen reads (the
+// pair counts, receive totals and summation scores of i and j) is a
+// function of the two rows alone.
+type pairEntry struct {
+	genI, genJ uint32
+	charges    pairCharges
+	flagged    bool
+}
+
+// runBuffers is the per-detection scratch an incremental detector reuses
+// across cycles, so steady-state passes allocate nothing.
+type runBuffers struct {
+	candidates []int
+	high       []bool
+	highList   []int
+	flagged    []bool
+	pairs      []Evidence
+	pairSet    map[[2]int]struct{}
+	queue      []int
+	inQueue    []bool
+	pairCount  []int
+}
+
+// incrementalState is one detector's memoization across DetectIncremental
+// calls: per-target row generations advanced by the dirty set, the pair
+// screen cache, and the reusable scratch buffers.
+type incrementalState struct {
+	ledger *reputation.Ledger
+	n      int
+	gen    []uint32
+	cache  map[[2]int32]pairEntry
+	buf    runBuffers
+}
+
+// ensureIncremental returns the detector's state, resetting it whenever
+// the ledger identity or population changed (a new run, a cloned ledger,
+// a windowed merge) so stale screens can never leak across ledgers.
+func ensureIncremental(slot **incrementalState, l *reputation.Ledger) *incrementalState {
+	st := *slot
+	if st == nil || st.ledger != l || st.n != l.Size() {
+		st = &incrementalState{
+			ledger: l,
+			n:      l.Size(),
+			gen:    make([]uint32, l.Size()),
+			cache:  make(map[[2]int32]pairEntry),
+		}
+		*slot = st
+	}
+	return st
+}
+
+// advanceGenerations invalidates every cached screen touching a dirty row.
+func (st *incrementalState) advanceGenerations(dirty []int) {
+	for _, d := range dirty {
+		if d >= 0 && d < st.n {
+			st.gen[d]++
+		}
+	}
+}
+
+// beginRun normalizes the candidate list into the ascending high list and
+// bitmap and readies an empty Result. With a nil state it allocates fresh
+// storage (the pure Detect/DetectAmong contract); with a state it reuses
+// the scratch buffers.
+func beginRun(st *incrementalState, n int, candidates []int) (res Result, highList []int, high []bool) {
+	if st == nil {
+		high = make([]bool, n)
+		highList = make([]int, 0, len(candidates))
+		res = Result{Flagged: make([]bool, n)}
+	} else {
+		st.buf.high = resizeBools(st.buf.high, n)
+		clear(st.buf.high)
+		st.buf.flagged = resizeBools(st.buf.flagged, n)
+		clear(st.buf.flagged)
+		if st.buf.pairSet == nil {
+			st.buf.pairSet = make(map[[2]int]struct{})
+		} else {
+			clear(st.buf.pairSet)
+		}
+		high = st.buf.high
+		highList = st.buf.highList[:0]
+		res = Result{Flagged: st.buf.flagged, Pairs: st.buf.pairs[:0], pairSet: st.buf.pairSet}
+	}
+	for _, c := range candidates {
+		if c >= 0 && c < n {
+			high[c] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		if high[i] {
+			highList = append(highList, i)
+		}
+	}
+	if st != nil {
+		st.buf.highList = highList
+	}
+	return res, highList, high
+}
+
+// endRun hands grown storage back to the scratch for the next cycle.
+func endRun(st *incrementalState, res *Result) {
+	if st != nil {
+		st.buf.pairs = res.Pairs
+	}
+}
+
+func resizeBools(xs []bool, n int) []bool {
+	if cap(xs) < n {
+		return make([]bool, n)
+	}
+	return xs[:n]
+}
+
+func resizeInts(xs []int, n int) []int {
+	if cap(xs) < n {
+		return make([]int, n)
+	}
+	return xs[:n]
+}
+
 // Basic is the unoptimized detection method of Section IV-B. For each
 // high-reputed node it walks the node's matrix row; for each frequent,
 // highly positive rater it re-scans the row to compute the outside
@@ -109,6 +253,8 @@ type Basic struct {
 	// pair recording which threshold gate it stopped at. Disabled tracing
 	// adds no work and no allocations to the hot path.
 	Trace *obs.Tracer
+
+	inc *incrementalState
 }
 
 // NewBasic returns a basic detector with the given thresholds.
@@ -120,10 +266,24 @@ func (b *Basic) Name() string { return "unoptimized" }
 // Detect implements Detector.
 func (b *Basic) Detect(l *reputation.Ledger) Result {
 	auditCandidates(b.Trace, b.Name(), l, b.Thresholds.TR)
-	return b.DetectAmong(l, summationCandidates(l, b.Thresholds.TR))
+	return b.detectAmong(l, summationCandidates(l, b.Thresholds.TR), nil)
 }
 
 // DetectAmong implements Detector.
+func (b *Basic) DetectAmong(l *reputation.Ledger, candidates []int) Result {
+	return b.detectAmong(l, candidates, nil)
+}
+
+// DetectIncremental implements IncrementalDetector.
+func (b *Basic) DetectIncremental(l *reputation.Ledger, dirty []int) Result {
+	st := ensureIncremental(&b.inc, l)
+	st.advanceGenerations(dirty)
+	auditCandidates(b.Trace, b.Name(), l, b.Thresholds.TR)
+	st.buf.candidates = appendSummationCandidates(st.buf.candidates[:0], l, b.Thresholds.TR)
+	return b.detectAmong(l, st.buf.candidates, st)
+}
+
+// detectAmong is the shared detection pass.
 //
 // The paper's method scans every element of each high-reputed node's
 // matrix row. Two facts let the implementation skip the dense walk while
@@ -136,105 +296,164 @@ func (b *Basic) Detect(l *reputation.Ledger) Result {
 //     j < i already marked checked from row j.
 //   - Only unordered high pairs are examined, and each exactly once, so
 //     iterating high partners j > i in ascending order replaces both the
-//     column walk and the n×n checked bitset.
-func (b *Basic) DetectAmong(l *reputation.Ledger, candidates []int) Result {
+//     column walk and the n×n checked bitset. High partners with
+//     N_(i,j) = 0 stop at the frequency gate after the unconditional
+//     outside re-scan, so only partners on i's adjacency need real work;
+//     the rest are charged one O(n) re-scan each, in bulk.
+//
+// A non-nil st replays memoized screens for pairs whose rows are both
+// unchanged: the cached gate implies the cached charges and detection
+// outcome, and re-adding a cached flagged pair recomputes the identical
+// Evidence because it reads only the two unchanged rows. When tracing is
+// enabled the cache is bypassed (read and write) so every high pair is
+// re-examined and audited in the exact order of a full pass.
+func (b *Basic) detectAmong(l *reputation.Ledger, candidates []int, st *incrementalState) Result {
 	n := l.Size()
-	res := Result{Flagged: make([]bool, n)}
-	highList := highCandidates(n, candidates)
+	res, highList, high := beginRun(st, n, candidates)
+	tracing := b.Trace.Enabled()
 
-	// Scan high rows top-down, examining each unordered high pair at its
-	// first (lower-indexed) row, as the dense left-to-right scan does.
 	for idx, i := range highList {
 		// Dense row-scan accounting: every element a_ij except the idx
 		// already-checked high pairs from earlier rows.
 		visited := int64(n - 1 - idx)
 		b.charge(metrics.CostPairCheck, visited)
 		b.charge(metrics.CostMatrixScan, visited)
-		for _, j := range highList[idx+1:] {
-			// C2 on n_i: the outside positive share. The unoptimized
-			// method pays an O(n) row re-scan here for every examined
-			// rater — the cost Proposition 4.1 counts and Formula (2)
-			// later eliminates; we walk only n_i's active raters but
-			// charge the full dense re-scan.
-			outI := b.outsideLow(l, i, j)
-			gate := b.screenPair(l, i, j, outI, &res)
-			if b.Trace.Enabled() {
+		pc := l.PairCountsOf(i)
+
+		if tracing {
+			// Audit path: every high partner j > i is screened and audited
+			// in ascending order, reading N_(i,j) by merging i's adjacency
+			// along the high list.
+			k := 0
+			for _, j := range highList[idx+1:] {
+				for k < len(pc.Raters) && int(pc.Raters[k]) < j {
+					k++
+				}
+				nij, posij := 0, 0
+				if k < len(pc.Raters) && int(pc.Raters[k]) == j {
+					nij, posij = int(pc.Total[k]), int(pc.Pos[k])
+				}
+				gate, ch := b.examinePair(l, i, j, nij, posij, &res)
+				b.charge(metrics.CostMatrixScan, ch.scan)
 				b.Trace.PairAudit(pairAuditFor(l, b.Name(), i, j, gate))
 			}
+			continue
 		}
+
+		// Fast path: only high partners on i's adjacency can get past the
+		// frequency gate; each zero pair still pays the unconditional O(n)
+		// outside re-scan, charged in bulk below.
+		highAfter := len(highList) - idx - 1
+		examined := 0
+		for k, x32 := range pc.Raters {
+			x := int(x32)
+			if x <= i || !high[x] {
+				continue
+			}
+			examined++
+			if st != nil {
+				key := [2]int32{int32(i), x32}
+				if e, ok := st.cache[key]; ok && e.genI == st.gen[i] && e.genJ == st.gen[x] {
+					b.charge(metrics.CostMatrixScan, e.charges.scan)
+					if e.flagged {
+						res.addPair(l, i, x)
+					}
+					continue
+				}
+				gate, ch := b.examinePair(l, i, x, int(pc.Total[k]), int(pc.Pos[k]), &res)
+				b.charge(metrics.CostMatrixScan, ch.scan)
+				st.cache[key] = pairEntry{
+					genI: st.gen[i], genJ: st.gen[x],
+					charges: ch, flagged: gate == obs.GateFlagged,
+				}
+				continue
+			}
+			_, ch := b.examinePair(l, i, x, int(pc.Total[k]), int(pc.Pos[k]), &res)
+			b.charge(metrics.CostMatrixScan, ch.scan)
+		}
+		b.charge(metrics.CostMatrixScan, int64(highAfter-examined)*int64(n))
 	}
+
 	associationSweep(l, b.Thresholds, &res,
-		func(n int64) { b.charge(metrics.CostPairCheck, n) }, b.Trace, b.Name())
+		func(n int64) { b.charge(metrics.CostPairCheck, n) }, b.Trace, b.Name(), st)
 	res.sortPairs()
+	endRun(st, &res)
 	return res
 }
 
-// screenPair runs the §IV-B threshold cascade on one high pair (outI
-// precomputed by the caller's unconditional outside scan), records a
-// detection, and returns the audit gate label. The charge sequence is
-// identical to the pre-audit implementation: one CostMatrixScan for the
-// reverse matrix element once the forward screen passes, and outside
-// re-scans exactly where the dense method pays them.
-func (b *Basic) screenPair(l *reputation.Ledger, i, j int, outI bool, res *Result) string {
+// examinePair runs the §IV-B threshold cascade on one high pair, with
+// N_(i,j) and N+_(i,j) read off i's adjacency by the caller. It performs
+// no meter charges itself: the dense-scan costs it accrues — the
+// unconditional outside re-scan, the reverse matrix element, and the
+// conditional outside re-scans — are returned for the caller to apply,
+// fresh or replayed from the incremental cache. The charge sequence is
+// identical to the dense reference implementation.
+func (b *Basic) examinePair(l *reputation.Ledger, i, j, nij, posij int, res *Result) (string, pairCharges) {
+	var ch pairCharges
+	n := int64(l.Size())
+	// C2 on n_i: the outside positive share. The unoptimized method pays
+	// an O(n) row re-scan here for every examined rater — the cost
+	// Proposition 4.1 counts and Formula (2) later eliminates. The receive
+	// totals minus the pair counts give the same integers in O(1)
+	// (self-ratings cannot exist, so nothing else needs excluding), but
+	// the full dense re-scan is still charged.
+	ch.scan += n
+	outI := outsideLow(b.Thresholds.Tb, l.TotalFor(i)-nij, l.PositiveFor(i)-posij)
 	// C4 + C3 forward screen: j rates i frequently and almost always
 	// positively.
-	nij := l.PairTotal(i, j)
 	if nij < b.Thresholds.TN {
-		return obs.GateTNForward
+		return obs.GateTNForward, ch
 	}
-	if float64(l.PairPositive(i, j))/float64(nij) < b.Thresholds.Ta {
-		return obs.GateTAForward
+	if float64(posij)/float64(nij) < b.Thresholds.Ta {
+		return obs.GateTAForward, ch
 	}
 	if b.Thresholds.StrictReverse && !outI {
-		return obs.GateTBForward
+		return obs.GateTBForward, ch
 	}
 	// Symmetric screen on n_j's element a_ji.
 	nji := l.PairTotal(j, i)
-	b.charge(metrics.CostMatrixScan, 1)
+	ch.scan++
 	if nji < b.Thresholds.TN {
-		return obs.GateTNReverse
+		return obs.GateTNReverse, ch
 	}
-	if float64(l.PairPositive(j, i))/float64(nji) < b.Thresholds.Ta {
-		return obs.GateTAReverse
+	posji := l.PairPositive(j, i)
+	if float64(posji)/float64(nji) < b.Thresholds.Ta {
+		return obs.GateTAReverse, ch
 	}
 	// The strict (literal Section IV) rule demands the outside test of
 	// both sides; the default demands it of at least one.
 	if b.Thresholds.StrictReverse {
-		if b.outsideLow(l, j, i) {
+		ch.scan += n
+		if outsideLow(b.Thresholds.Tb, l.TotalFor(j)-nji, l.PositiveFor(j)-posji) {
 			res.addPair(l, i, j)
-			return obs.GateFlagged
+			return obs.GateFlagged, ch
 		}
-		return obs.GateTBReverse
+		return obs.GateTBReverse, ch
 	}
-	if outI || b.outsideLow(l, j, i) {
+	if outI {
 		res.addPair(l, i, j)
-		return obs.GateFlagged
+		return obs.GateFlagged, ch
 	}
-	return obs.GateTBOutside
+	ch.scan += n
+	if outsideLow(b.Thresholds.Tb, l.TotalFor(j)-nji, l.PositiveFor(j)-posji) {
+		res.addPair(l, i, j)
+		return obs.GateFlagged, ch
+	}
+	return obs.GateTBOutside, ch
 }
 
-// outsideLow computes b, the positive share of every rating the target
-// received except the suspect rater's, and reports whether it falls below
-// Tb. The paper's method re-scans the whole matrix row here — the step the
-// optimized method eliminates — and the meter is charged for that full
-// O(n) scan; the implementation only walks the target's active raters,
-// since zero columns contribute nothing to either sum.
-func (b *Basic) outsideLow(l *reputation.Ledger, target, rater int) bool {
-	othersTotal, othersPos := 0, 0
-	for _, k := range l.RatersOf(target) {
-		if int(k) == rater {
-			continue
-		}
-		othersTotal += l.PairTotal(target, int(k))
-		othersPos += l.PairPositive(target, int(k))
-	}
-	b.charge(metrics.CostMatrixScan, int64(l.Size()))
+// outsideLow reports whether b — the positive share of every rating the
+// target received except the suspect rater's — falls below Tb. The inputs
+// are the exact integers N_(i,-j) and N+_(i,-j); the dense method
+// recomputed them with a full O(n) row re-scan, whose cost the caller
+// still charges arithmetically.
+func outsideLow(tb float64, othersTotal, othersPos int) bool {
 	if othersTotal == 0 {
 		// All of the target's reputation comes from the single rater —
 		// the most extreme form of the pattern.
 		return true
 	}
-	return float64(othersPos)/float64(othersTotal) < b.Thresholds.Tb
+	return float64(othersPos)/float64(othersTotal) < tb
 }
 
 func (b *Basic) charge(name string, n int64) {
@@ -257,6 +476,8 @@ type Optimized struct {
 	// pair, including the Formula (2) interval each side was checked
 	// against. Disabled tracing adds no work and no allocations.
 	Trace *obs.Tracer
+
+	inc *incrementalState
 }
 
 // NewOptimized returns an optimized detector with the given thresholds.
@@ -268,45 +489,114 @@ func (o *Optimized) Name() string { return "optimized" }
 // Detect implements Detector.
 func (o *Optimized) Detect(l *reputation.Ledger) Result {
 	auditCandidates(o.Trace, o.Name(), l, o.Thresholds.TR)
-	return o.DetectAmong(l, summationCandidates(l, o.Thresholds.TR))
+	return o.detectAmong(l, summationCandidates(l, o.Thresholds.TR), nil)
 }
 
 // DetectAmong implements Detector.
-//
-// Same dense-scan accounting scheme as Basic.DetectAmong: non-high column
-// visits are charged arithmetically and only unordered high pairs are
-// examined, each once, in ascending row order.
 func (o *Optimized) DetectAmong(l *reputation.Ledger, candidates []int) Result {
-	n := l.Size()
-	res := Result{Flagged: make([]bool, n)}
-	highList := highCandidates(n, candidates)
+	return o.detectAmong(l, candidates, nil)
+}
 
-	enabled := o.Trace.Enabled()
+// DetectIncremental implements IncrementalDetector.
+func (o *Optimized) DetectIncremental(l *reputation.Ledger, dirty []int) Result {
+	st := ensureIncremental(&o.inc, l)
+	st.advanceGenerations(dirty)
+	auditCandidates(o.Trace, o.Name(), l, o.Thresholds.TR)
+	st.buf.candidates = appendSummationCandidates(st.buf.candidates[:0], l, o.Thresholds.TR)
+	return o.detectAmong(l, st.buf.candidates, st)
+}
+
+// detectAmong is the shared detection pass, with the same dense-scan
+// accounting scheme as Basic.detectAmong: non-high column visits are
+// charged arithmetically and only unordered high pairs are examined, each
+// once, in ascending row order. Pairs failing the frequency gate charge
+// nothing, so the fast path walks only i's adjacency; memoization and the
+// tracing bypass follow the same rules as Basic.
+func (o *Optimized) detectAmong(l *reputation.Ledger, candidates []int, st *incrementalState) Result {
+	n := l.Size()
+	res, highList, high := beginRun(st, n, candidates)
+	tracing := o.Trace.Enabled()
+
 	for idx, i := range highList {
 		ri := float64(l.SummationScore(i))
 		ni := l.TotalFor(i)
 		o.charge(metrics.CostPairCheck, int64(n-1-idx))
-		for _, j := range highList[idx+1:] {
-			// The frequency gate rejects almost every pair, so it stays
-			// inline; the full cascade runs out of line only for pairs
-			// that survive it (or when the audit trail needs the label).
-			nij, nji := l.PairTotal(i, j), l.PairTotal(j, i)
-			if nij < o.Thresholds.TN || nji < o.Thresholds.TN {
-				if enabled {
+		pc := l.PairCountsOf(i)
+
+		if tracing {
+			k := 0
+			for _, j := range highList[idx+1:] {
+				for k < len(pc.Raters) && int(pc.Raters[k]) < j {
+					k++
+				}
+				nij, posij := 0, 0
+				if k < len(pc.Raters) && int(pc.Raters[k]) == j {
+					nij, posij = int(pc.Total[k]), int(pc.Pos[k])
+				}
+				// The frequency gate rejects almost every pair, so it stays
+				// inline; the full cascade runs out of line only for pairs
+				// that survive it.
+				nji := l.PairTotal(j, i)
+				if nij < o.Thresholds.TN || nji < o.Thresholds.TN {
 					o.auditPair(l, i, j, obs.GateTN)
+					continue
+				}
+				gate, ch := o.examinePair(l, i, j, ri, ni, nij, posij, nji, &res)
+				o.charge(metrics.CostBoundCheck, ch.bound)
+				o.auditPair(l, i, j, gate)
+			}
+			continue
+		}
+
+		// Fast path: a pair with N_(i,j) = 0 fails the frequency gate with
+		// no charge and no audit, so only i's adjacency needs visiting.
+		for k, x32 := range pc.Raters {
+			x := int(x32)
+			if x <= i || !high[x] {
+				continue
+			}
+			nij := int(pc.Total[k])
+			if nij < o.Thresholds.TN {
+				continue
+			}
+			if st != nil {
+				key := [2]int32{int32(i), x32}
+				if e, ok := st.cache[key]; ok && e.genI == st.gen[i] && e.genJ == st.gen[x] {
+					o.charge(metrics.CostBoundCheck, e.charges.bound)
+					if e.flagged {
+						res.addPair(l, i, x)
+					}
+					continue
+				}
+				gate, ch := o.screenReverse(l, i, x, ri, ni, nij, int(pc.Pos[k]), &res)
+				o.charge(metrics.CostBoundCheck, ch.bound)
+				st.cache[key] = pairEntry{
+					genI: st.gen[i], genJ: st.gen[x],
+					charges: ch, flagged: gate == obs.GateFlagged,
 				}
 				continue
 			}
-			gate := o.screenPair(l, i, j, ri, ni, nij, nji, &res)
-			if enabled {
-				o.auditPair(l, i, j, gate)
-			}
+			_, ch := o.screenReverse(l, i, x, ri, ni, nij, int(pc.Pos[k]), &res)
+			o.charge(metrics.CostBoundCheck, ch.bound)
 		}
 	}
+
 	associationSweep(l, o.Thresholds, &res,
-		func(n int64) { o.charge(metrics.CostPairCheck, n) }, o.Trace, o.Name())
+		func(n int64) { o.charge(metrics.CostPairCheck, n) }, o.Trace, o.Name(), st)
 	res.sortPairs()
+	endRun(st, &res)
 	return res
+}
+
+// screenReverse reads the reverse matrix element and finishes the
+// frequency gate before running the full cascade; split out so the fast
+// path and the cache share one call shape.
+func (o *Optimized) screenReverse(l *reputation.Ledger, i, j int, ri float64, ni, nij, posij int, res *Result) (string, pairCharges) {
+	nji := l.PairTotal(j, i)
+	if nji < o.Thresholds.TN {
+		return obs.GateTN, pairCharges{}
+	}
+	return o.examinePair(l, i, j, ri, ni, nij, posij, nji, res)
 }
 
 // auditPair emits one pair_audit event with the Formula (2) intervals
@@ -318,45 +608,53 @@ func (o *Optimized) auditPair(l *reputation.Ledger, i, j int, gate string) {
 	o.Trace.PairAudit(a)
 }
 
-// screenPair runs the §IV-C cascade on one high pair that already passed
-// the caller's inline frequency gate (nij, nji >= TN), records a
-// detection, and returns the audit gate label. Bound checks are charged
-// exactly where the pre-audit implementation charged them: always the
-// first, and the second only when the rule needs it.
-func (o *Optimized) screenPair(l *reputation.Ledger, i, j int, ri float64, ni, nij, nji int, res *Result) string {
+// examinePair runs the §IV-C cascade on one high pair that already passed
+// the frequency gate (nij, nji >= TN), records a detection, and returns
+// the audit gate label. It performs no meter charges itself; bound
+// evaluations are counted exactly where the dense reference charged them
+// — always the first, the second only when the rule needs it — and
+// returned for the caller to apply or replay.
+func (o *Optimized) examinePair(l *reputation.Ledger, i, j int, ri float64, ni, nij, posij, nji int, res *Result) (string, pairCharges) {
+	var ch pairCharges
 	rj := float64(l.SummationScore(j))
 	nj := l.TotalFor(j)
 	if o.Thresholds.StrictReverse {
 		// Literal Section IV-C: Formula (2) must hold on both sides.
 		// Each evaluation needs only R, N and N_(i,j).
-		o.charge(metrics.CostBoundCheck, 1)
+		ch.bound++
 		if !o.Thresholds.BoundsHold(ri, ni, nij) {
-			return obs.GateBoundForward
+			return obs.GateBoundForward, ch
 		}
-		o.charge(metrics.CostBoundCheck, 1)
+		ch.bound++
 		if !o.Thresholds.BoundsHold(rj, nj, nji) {
-			return obs.GateBoundReverse
+			return obs.GateBoundReverse, ch
 		}
 		res.addPair(l, i, j)
-		return obs.GateFlagged
+		return obs.GateFlagged, ch
 	}
 	// Default rule: mutual frequent almost-always-positive rating (read
 	// off the two matrix elements, no row scan) plus Formula (2) on at
 	// least one side.
-	if float64(l.PairPositive(i, j))/float64(nij) < o.Thresholds.Ta ||
+	if float64(posij)/float64(nij) < o.Thresholds.Ta ||
 		float64(l.PairPositive(j, i))/float64(nji) < o.Thresholds.Ta {
-		return obs.GateTA
+		return obs.GateTA, ch
 	}
-	o.charge(metrics.CostBoundCheck, 1)
+	ch.bound++
 	holdI := o.Thresholds.BoundsHold(ri, ni, nij)
 	if !holdI {
-		o.charge(metrics.CostBoundCheck, 1)
+		ch.bound++
 		if !o.Thresholds.BoundsHold(rj, nj, nji) {
-			return obs.GateBound
+			return obs.GateBound, ch
 		}
 	}
 	res.addPair(l, i, j)
-	return obs.GateFlagged
+	return obs.GateFlagged, ch
+}
+
+func (o *Optimized) charge(name string, n int64) {
+	if o.Meter != nil {
+		o.Meter.Add(name, n)
+	}
 }
 
 // associationSweep closes the detected set under colluding partnership:
@@ -370,36 +668,55 @@ func (o *Optimized) screenPair(l *reputation.Ledger, i, j int, ri float64, ni, n
 // The sweep conceptually examines every unpaired column of each flagged
 // node's row, but a partner must satisfy n_(c,x) >= TN >= 1 (Thresholds.
 // Validate rejects smaller TN), so only c's active raters can qualify: the
-// loop walks the adjacency list and the remaining column visits are
-// charged in bulk. Detected pairs always have both directions >= TN, so
-// every already-paired partner is in the adjacency list and the bulk
-// charge (n-1 minus c's current pair count) matches the dense scan's
-// exactly.
-func associationSweep(l *reputation.Ledger, th Thresholds, res *Result, charge func(int64), tr *obs.Tracer, det string) {
+// loop walks the adjacency with its aligned counts and the remaining
+// column visits are charged in bulk. Detected pairs always have both
+// directions >= TN, so every already-paired partner is in the adjacency
+// list and the bulk charge (n-1 minus c's current pair count) matches the
+// dense scan's exactly.
+// The sweep always runs in full — flags propagate transitively, so one
+// dirty row can extend chains through unchanged ones — but its inputs at
+// equal flag sets are identical, which keeps the incremental path's
+// charges and audits byte-identical to a full pass.
+func associationSweep(l *reputation.Ledger, th Thresholds, res *Result, charge func(int64), tr *obs.Tracer, det string, st *incrementalState) {
 	if th.StrictReverse {
 		return
 	}
 	n := l.Size()
-	queue := res.FlaggedNodes()
-	inQueue := make([]bool, n)
-	for _, c := range queue {
-		inQueue[c] = true
+	var queue []int
+	var inQueue []bool
+	var pairCount []int
+	if st != nil {
+		queue = st.buf.queue[:0]
+		st.buf.inQueue = resizeBools(st.buf.inQueue, n)
+		clear(st.buf.inQueue)
+		inQueue = st.buf.inQueue
+		st.buf.pairCount = resizeInts(st.buf.pairCount, n)
+		clear(st.buf.pairCount)
+		pairCount = st.buf.pairCount
+	} else {
+		inQueue = make([]bool, n)
+		pairCount = make([]int, n)
 	}
-	pairCount := make([]int, n)
+	for i, f := range res.Flagged {
+		if f {
+			queue = append(queue, i)
+			inQueue[i] = true
+		}
+	}
 	for _, e := range res.Pairs {
 		pairCount[e.I]++
 		pairCount[e.J]++
 	}
-	for len(queue) > 0 {
-		c := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		c := queue[head]
 		charge(int64(n - 1 - pairCount[c]))
-		for _, x32 := range l.RatersOf(c) {
+		pc := l.PairCountsOf(c)
+		for k, x32 := range pc.Raters {
 			x := int(x32)
 			if res.HasPair(c, x) {
 				continue
 			}
-			gate := sweepPartner(l, th, res, c, x)
+			gate := sweepPartner(l, th, res, c, x, int(pc.Total[k]), int(pc.Pos[k]))
 			if gate == obs.GateFlagged {
 				pairCount[c]++
 				pairCount[x]++
@@ -413,16 +730,20 @@ func associationSweep(l *reputation.Ledger, th Thresholds, res *Result, charge f
 			}
 		}
 	}
+	if st != nil {
+		st.buf.queue = queue
+	}
 }
 
 // sweepPartner applies the association screen to one candidate partner of
-// a flagged colluder, records a detection, and returns the gate label.
-func sweepPartner(l *reputation.Ledger, th Thresholds, res *Result, c, x int) string {
-	ncx, nxc := l.PairTotal(c, x), l.PairTotal(x, c)
+// a flagged colluder (ncx and poscx read off c's adjacency), records a
+// detection, and returns the gate label.
+func sweepPartner(l *reputation.Ledger, th Thresholds, res *Result, c, x, ncx, poscx int) string {
+	nxc := l.PairTotal(x, c)
 	if ncx < th.TN || nxc < th.TN {
 		return obs.GateTN
 	}
-	if float64(l.PairPositive(c, x))/float64(ncx) < th.Ta ||
+	if float64(poscx)/float64(ncx) < th.Ta ||
 		float64(l.PairPositive(x, c))/float64(nxc) < th.Ta {
 		return obs.GateTA
 	}
@@ -483,35 +804,16 @@ func max2(a, b int) int {
 	return b
 }
 
-func (o *Optimized) charge(name string, n int64) {
-	if o.Meter != nil {
-		o.Meter.Add(name, n)
-	}
-}
-
 // summationCandidates returns nodes whose summation reputation reaches tr.
 func summationCandidates(l *reputation.Ledger, tr float64) []int {
-	var out []int
-	for i := 0; i < l.Size(); i++ {
-		if float64(l.SummationScore(i)) >= tr {
-			out = append(out, i)
-		}
-	}
-	return out
+	return appendSummationCandidates(nil, l, tr)
 }
 
-// highCandidates normalizes a candidate list into ascending, deduplicated,
-// in-range node indices — the order the dense scan examines high rows in.
-func highCandidates(n int, candidates []int) []int {
-	high := make([]bool, n)
-	for _, c := range candidates {
-		if c >= 0 && c < n {
-			high[c] = true
-		}
-	}
-	out := make([]int, 0, len(candidates))
-	for i := 0; i < n; i++ {
-		if high[i] {
+// appendSummationCandidates appends the candidates to out, reusing its
+// storage — the incremental detectors call it each cycle.
+func appendSummationCandidates(out []int, l *reputation.Ledger, tr float64) []int {
+	for i := 0; i < l.Size(); i++ {
+		if float64(l.SummationScore(i)) >= tr {
 			out = append(out, i)
 		}
 	}
@@ -541,11 +843,16 @@ func (r *Result) addPair(l *reputation.Ledger, i, j int) {
 	r.insertPair(e)
 }
 
+// sortPairs orders Pairs by (I, J). Insertion sort: pair lists are short,
+// nearly sorted (rows are scanned ascending), and the in-place pass
+// allocates nothing, which keeps steady-state incremental detection
+// allocation-free.
 func (r *Result) sortPairs() {
-	sort.Slice(r.Pairs, func(a, b int) bool {
-		if r.Pairs[a].I != r.Pairs[b].I {
-			return r.Pairs[a].I < r.Pairs[b].I
+	ps := r.Pairs
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && (ps[j].I < ps[j-1].I ||
+			(ps[j].I == ps[j-1].I && ps[j].J < ps[j-1].J)); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
 		}
-		return r.Pairs[a].J < r.Pairs[b].J
-	})
+	}
 }

@@ -82,3 +82,29 @@ func BenchmarkOptimizedDetectDense1000(b *testing.B) {
 		denseOptimizedDetectAmong(th, nil, l, summationCandidates(l, th.TR))
 	}
 }
+
+// The Sparse100k benchmarks are the scale the dense ledger made
+// impossible: 100,000 nodes at ~10 ratings/node would have needed three
+// 100k² int32 arrays (~120 GB); the CSR ledger builds and detects the same
+// population within ordinary laptop memory (the n=100k acceptance bound is
+// < 1 GiB, dominated by the per-row slice headers).
+
+func BenchmarkBasicDetectSparse100k(b *testing.B) {
+	l := sparseBenchLedger(100_000, 10)
+	d := NewBasic(DefaultThresholds())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Detect(l)
+	}
+}
+
+func BenchmarkOptimizedDetectSparse100k(b *testing.B) {
+	l := sparseBenchLedger(100_000, 10)
+	d := NewOptimized(DefaultThresholds())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Detect(l)
+	}
+}

@@ -140,21 +140,26 @@ func (g *GroupDetector) DetectAmong(l *reputation.Ledger, candidates []int) Grou
 	radj := make(map[int][]int, len(nodes))
 	tracing := g.Trace.Enabled()
 	for _, target := range nodes {
-		for _, rater := range nodes {
-			if rater == target {
+		// The dense scan examines every other candidate rater; unrated
+		// pairs stop at the frequency gate unaudited (they are the
+		// overwhelmingly common case and carry no information), so only
+		// target's adjacency — already ascending, like nodes — needs
+		// visiting, with the zero-count examinations charged in bulk.
+		g.charge(metrics.CostPairCheck, int64(len(nodes)-1))
+		pc := l.PairCountsOf(target)
+		for k, r32 := range pc.Raters {
+			rater := int(r32)
+			if !high[rater] {
 				continue
 			}
-			g.charge(metrics.CostPairCheck, 1)
-			cnt := l.PairTotal(target, rater)
+			cnt := int(pc.Total[k])
 			if cnt < g.Thresholds.TN {
-				// Edges with no ratings at all are not audited — they are
-				// the overwhelmingly common case and carry no information.
-				if tracing && cnt > 0 {
+				if tracing {
 					g.auditEdge(l, target, rater, cnt, obs.GateTN)
 				}
 				continue
 			}
-			if float64(l.PairPositive(target, rater))/float64(cnt) < g.Thresholds.Ta {
+			if float64(pc.Pos[k])/float64(cnt) < g.Thresholds.Ta {
 				if tracing {
 					g.auditEdge(l, target, rater, cnt, obs.GateTA)
 				}
@@ -205,21 +210,19 @@ func (g *GroupDetector) examine(l *reputation.Ledger, comp []int) (Group, bool) 
 	failing := 0
 	n := l.Size()
 	for _, m := range members {
+		// The outside test conceptually scans m's whole matrix row (charged
+		// dense below); only the nonzero elements — m's adjacency —
+		// contribute to the sums.
 		memberOutTotal, memberOutPos := 0, 0
-		for rater := 0; rater < n; rater++ {
-			if rater == m {
-				continue
-			}
-			cnt := l.PairTotal(m, rater)
-			if cnt == 0 {
-				continue
-			}
-			if inGroup[rater] {
+		pc := l.PairCountsOf(m)
+		for k, r32 := range pc.Raters {
+			cnt := int(pc.Total[k])
+			if inGroup[int(r32)] {
 				grp.InsideRatings += cnt
 				continue
 			}
 			memberOutTotal += cnt
-			memberOutPos += l.PairPositive(m, rater)
+			memberOutPos += int(pc.Pos[k])
 		}
 		g.charge(metrics.CostMatrixScan, int64(n))
 		outsideTotal += memberOutTotal

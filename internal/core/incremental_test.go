@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/reputation"
+	"github.com/p2psim/collusion/internal/rng"
+)
+
+// evolveLedger mutates l with one cycle's worth of activity: background
+// organic ratings plus, occasionally, a fresh mutual flood that creates or
+// reinforces a colluding pair — so across cycles the dirty set varies from
+// a few rows to most of the population.
+func evolveLedger(r *rng.Rand, l *reputation.Ledger, n int) {
+	ratings := r.IntRange(1, n*2)
+	for k := 0; k < ratings; k++ {
+		i, j := r.Intn(n), r.Intn(n)
+		if i == j {
+			continue
+		}
+		pol := 1
+		if r.Bool(0.3) {
+			pol = -1
+		}
+		l.Record(i, j, pol)
+	}
+	if r.Bool(0.4) {
+		a, b := r.Intn(n), r.Intn(n)
+		if a != b {
+			flood := r.IntRange(10, 30)
+			for k := 0; k < flood; k++ {
+				l.Record(a, b, 1)
+				l.Record(b, a, 1)
+			}
+		}
+	}
+}
+
+// TestIncrementalDetectionMatchesFull is the incremental path's contract:
+// across a 60-trial sweep of evolving ledgers, every DetectIncremental
+// cycle must flag the identical pairs AND charge the identical per-counter
+// meter readings as a from-scratch Detect over the same ledger state.
+func TestIncrementalDetectionMatchesFull(t *testing.T) {
+	r := rng.New(77).Child("incremental-equivalence")
+	for trial := 0; trial < 60; trial++ {
+		n := r.IntRange(4, 40)
+		th := Thresholds{
+			TR: float64(r.IntRange(0, 3)),
+			TN: r.IntRange(1, 25),
+			Ta: 0.5 + 0.5*r.Float64(),
+			Tb: r.Float64(),
+		}
+		if r.Bool(0.25) {
+			th.StrictReverse = true
+		}
+
+		l := reputation.NewLedger(n)
+		incB := NewBasic(th)
+		incB.Meter = new(metrics.CostMeter)
+		incO := NewOptimized(th)
+		incO.Meter = new(metrics.CostMeter)
+
+		cycles := r.IntRange(3, 8)
+		prevB := incB.Meter.Snapshot()
+		prevO := incO.Meter.Snapshot()
+		for cycle := 0; cycle < cycles; cycle++ {
+			evolveLedger(r, l, n)
+			dirty := l.DirtyTargets()
+
+			fullB := NewBasic(th)
+			fullB.Meter = new(metrics.CostMeter)
+			wantB := fullB.Detect(l)
+			gotB := incB.DetectIncremental(l, dirty)
+			compareResults(t, tag("basic", trial, cycle), gotB, wantB)
+			prevB = compareMeterDelta(t, tag("basic", trial, cycle), incB.Meter, prevB, fullB.Meter)
+
+			fullO := NewOptimized(th)
+			fullO.Meter = new(metrics.CostMeter)
+			wantO := fullO.Detect(l)
+			gotO := incO.DetectIncremental(l, dirty)
+			compareResults(t, tag("optimized", trial, cycle), gotO, wantO)
+			prevO = compareMeterDelta(t, tag("optimized", trial, cycle), incO.Meter, prevO, fullO.Meter)
+
+			l.ClearDirty()
+		}
+	}
+}
+
+// compareMeterDelta checks that the incremental detector's meter advanced
+// this cycle by exactly the counts a from-scratch pass charged, and
+// returns the new snapshot for the next cycle. A cached replay that
+// dropped or double-charged any counter would change Figure 13's cost
+// curves — exact equality is the requirement.
+func compareMeterDelta(t *testing.T, tag string, inc *metrics.CostMeter, prev map[string]int64, full *metrics.CostMeter) map[string]int64 {
+	t.Helper()
+	cur := inc.Snapshot()
+	want := full.Snapshot()
+	for name, w := range want {
+		if got := cur[name] - prev[name]; got != w {
+			t.Fatalf("%s: incremental charged %d %s this cycle, full pass %d", tag, got, name, w)
+		}
+	}
+	for name := range cur {
+		if _, ok := want[name]; !ok && cur[name] != prev[name] {
+			t.Fatalf("%s: incremental charged unexpected counter %s (+%d)", tag, name, cur[name]-prev[name])
+		}
+	}
+	return cur
+}
+
+// TestIncrementalResetsOnLedgerSwap pins the state-invalidation rule:
+// handing the detector a different Ledger value (a new run, a windowed
+// merge) must discard every memoized screen, even with an empty dirty set.
+func TestIncrementalResetsOnLedgerSwap(t *testing.T) {
+	th := DefaultThresholds()
+	th.TR = 0
+	r := rng.New(5).Child("ledger-swap")
+
+	a := reputation.NewLedger(12)
+	evolveLedger(r, a, 12)
+	for k := 0; k < 25; k++ {
+		a.Record(1, 2, 1)
+		a.Record(2, 1, 1)
+	}
+	b := reputation.NewLedger(12)
+	evolveLedger(r, b, 12)
+	for k := 0; k < 25; k++ {
+		b.Record(3, 4, 1)
+		b.Record(4, 3, 1)
+	}
+
+	for _, det := range []IncrementalDetector{NewBasic(th), NewOptimized(th)} {
+		resA := det.DetectIncremental(a, a.DirtyTargets())
+		if !resA.HasPair(1, 2) {
+			t.Fatalf("%s: planted pair (1,2) not flagged on ledger a", det.Name())
+		}
+		// No dirty rows reported for b: only the ledger identity signals
+		// the swap.
+		resB := det.DetectIncremental(b, nil)
+		full := NewOptimized(th)
+		if det.Name() == "unoptimized" {
+			resWant := NewBasic(th).Detect(b)
+			compareResults(t, det.Name()+" after swap", resB, resWant)
+			continue
+		}
+		compareResults(t, det.Name()+" after swap", resB, full.Detect(b))
+	}
+}
+
+// TestIncrementalSteadyStateAllocs pins the scratch-buffer reuse: once the
+// detector has warmed up on a ledger, re-detecting with no changes must
+// not allocate (the per-cycle Detect used to rebuild candidate, bitmap,
+// dedup-map and queue storage every period).
+func TestIncrementalSteadyStateAllocs(t *testing.T) {
+	th := DefaultThresholds()
+	th.TR = 0
+	r := rng.New(9).Child("steady-allocs")
+	l := reputation.NewLedger(64)
+	evolveLedger(r, l, 64)
+	for k := 0; k < 30; k++ {
+		l.Record(1, 2, 1)
+		l.Record(2, 1, 1)
+	}
+
+	for _, det := range []IncrementalDetector{NewBasic(th), NewOptimized(th)} {
+		for warm := 0; warm < 2; warm++ {
+			det.DetectIncremental(l, l.DirtyTargets())
+			l.ClearDirty()
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			res := det.DetectIncremental(l, nil)
+			if !res.HasPair(1, 2) {
+				t.Fatal("planted pair lost")
+			}
+		})
+		if allocs > 0 {
+			t.Fatalf("%s: steady-state DetectIncremental allocates %v objects/op, want 0", det.Name(), allocs)
+		}
+	}
+}
+
+func tag(det string, trial, cycle int) string {
+	return det + " trial " + itoa(trial) + " cycle " + itoa(cycle)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -151,21 +151,23 @@ func (d *SybilDetector) DetectAmong(l *reputation.Ledger, candidates []int) Sybi
 	for _, target := range targets {
 		var boosters []int
 		boosterRatings := 0
-		for rater := 0; rater < n; rater++ {
-			if rater == target {
-				continue
-			}
-			d.charge(metrics.CostPairCheck, 1)
-			cnt := l.PairTotal(target, rater)
+		// The booster scan conceptually examines every other node's rating
+		// relationship with the target (charged in bulk as the dense scan
+		// would); unrated relationships stop at the frequency gate
+		// unaudited — they carry no information and would dominate the
+		// trace volume — so only the target's adjacency needs visiting.
+		d.charge(metrics.CostPairCheck, int64(n-1))
+		pc := l.PairCountsOf(target)
+		for k, r32 := range pc.Raters {
+			rater := int(r32)
+			cnt := int(pc.Total[k])
 			if cnt < d.Thresholds.TN {
-				// Unrated relationships are not audited; they carry no
-				// information and would dominate the trace volume.
-				if tracing && cnt > 0 {
+				if tracing {
 					d.auditRater(l, target, rater, cnt, obs.GateTN)
 				}
 				continue
 			}
-			if float64(l.PairPositive(target, rater))/float64(cnt) < d.Thresholds.Ta {
+			if float64(pc.Pos[k])/float64(cnt) < d.Thresholds.Ta {
 				if tracing {
 					d.auditRater(l, target, rater, cnt, obs.GateTA)
 				}
@@ -205,12 +207,12 @@ func (d *SybilDetector) DetectAmong(l *reputation.Ledger, candidates []int) Sybi
 			inSwarm[b] = true
 		}
 		outTotal, outPos := 0, 0
-		for rater := 0; rater < n; rater++ {
-			if rater == target || inSwarm[rater] {
+		for k, r32 := range pc.Raters {
+			if inSwarm[int(r32)] {
 				continue
 			}
-			outTotal += l.PairTotal(target, rater)
-			outPos += l.PairPositive(target, rater)
+			outTotal += int(pc.Total[k])
+			outPos += int(pc.Pos[k])
 		}
 		d.charge(metrics.CostMatrixScan, int64(n))
 		share := 0.0

@@ -104,29 +104,59 @@ func (e *EigenTrust) Scores(l *Ledger) []float64 {
 	}
 
 	// Build the normalized local trust matrix C row-major: c[i][j] is how
-	// much rater i trusts node j. Rows are independent, so building them in
-	// parallel blocks produces the exact same floats as the sequential loop.
+	// much rater i trusts node j. The ledger stores counts by target row,
+	// so the per-rater view is a CSR transpose of the positive local-trust
+	// edges, built in one O(n + nnz) pass: scanning targets j in ascending
+	// order appends each rater's edges with j ascending, so the row sums
+	// below accumulate in exactly the order of the old dense column scan
+	// and the resulting floats are bit-identical.
+	off := make([]int, n+1)
+	for j := 0; j < n; j++ {
+		pc := l.PairCountsOf(j)
+		for k := range pc.Raters {
+			if pc.Pos[k]-pc.Neg[k] > 0 {
+				off[int(pc.Raters[k])+1]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	edgeTo := make([]int32, off[n])
+	edgeS := make([]float64, off[n])
+	fill := make([]int, n)
+	copy(fill, off[:n])
+	for j := 0; j < n; j++ {
+		pc := l.PairCountsOf(j)
+		for k, r32 := range pc.Raters {
+			if s := pc.Pos[k] - pc.Neg[k]; s > 0 {
+				at := fill[r32]
+				edgeTo[at] = int32(j)
+				edgeS[at] = float64(s)
+				fill[r32] = at + 1
+			}
+		}
+	}
+	// Rows are independent, so filling them in parallel blocks produces
+	// the exact same floats as the sequential loop.
 	c := make([][]float64, n)
 	parallel.Blocks(workers, n, func(rlo, rhi int) {
 		for i := rlo; i < rhi; i++ {
 			row := make([]float64, n)
 			sum := 0.0
-			for j := 0; j < n; j++ {
-				if i == j {
-					continue
-				}
-				if s := l.LocalTrust(i, j); s > 0 {
-					row[j] = float64(s)
-					sum += float64(s)
-				}
+			for at := off[i]; at < off[i+1]; at++ {
+				row[edgeTo[at]] = edgeS[at]
+				sum += edgeS[at]
 			}
 			if sum == 0 {
 				// A peer with no positive experience defers to the pretrust
 				// distribution, as in the original algorithm.
 				copy(row, p)
 			} else {
-				for j := range row {
-					row[j] /= sum
+				// Only the edge slots are nonzero; dividing just those
+				// leaves the zero entries bit-identical to dividing all.
+				for at := off[i]; at < off[i+1]; at++ {
+					row[edgeTo[at]] /= sum
 				}
 			}
 			c[i] = row

@@ -68,14 +68,14 @@ func (w *WeightedSum) Scores(l *Ledger) []float64 {
 	}
 	out := make([]float64, n)
 	for target := 0; target < n; target++ {
+		// Only the target's active raters contribute; the adjacency is
+		// ascending, so the float accumulation order matches the old dense
+		// column scan exactly.
 		sum := 0.0
-		for rater := 0; rater < n; rater++ {
-			if rater == target {
-				continue
-			}
-			d := l.PairPositive(target, rater) - l.PairNegative(target, rater)
-			if d != 0 {
-				sum += weight[rater] * float64(d)
+		pc := l.PairCountsOf(target)
+		for k, r32 := range pc.Raters {
+			if d := pc.Pos[k] - pc.Neg[k]; d != 0 {
+				sum += weight[r32] * float64(d)
 			}
 		}
 		out[target] = sum

@@ -87,13 +87,14 @@ func (e *IterativeWeighted) Scores(l *Ledger) []float64 {
 	}
 	raw := make([]float64, n)
 	for target := 0; target < n; target++ {
+		// Only active raters have nonzero local trust for the target; the
+		// ascending adjacency keeps the float accumulation order of the
+		// old dense column scan.
 		sum := 0.0
-		for rater := 0; rater < n; rater++ {
-			if rater == target {
-				continue
-			}
-			if d := l.LocalTrust(rater, target); d != 0 {
-				sum += weight[rater] * float64(d)
+		pc := l.PairCountsOf(target)
+		for k, r32 := range pc.Raters {
+			if d := pc.Pos[k] - pc.Neg[k]; d != 0 {
+				sum += weight[r32] * float64(d)
 			}
 		}
 		raw[target] = sum

@@ -19,43 +19,63 @@ import (
 // the *rater* (n_j). So PairTotal(i, j) is the paper's N_(i,j): the number
 // of ratings n_i received from n_j during T.
 //
+// Storage is CSR-style sparse: each target row keeps its active raters in
+// an ascending adjacency list with the per-pair counts in aligned slices,
+// so total memory is O(n + nnz) where nnz is the number of nonzero
+// (target, rater) pairs — never the dense n² the paper's matrix notation
+// suggests. The rating matrix is extremely sparse in the paper's traces
+// (characteristic C4: the average Amazon pair trades about once a year),
+// which is what makes population sizes around n=100,000 practical.
+//
 // Ledger is not safe for concurrent mutation; the simulation engine is
 // deterministic and single-threaded by design.
 type Ledger struct {
-	n     int
-	total []int32 // [target*n+rater] all ratings
-	pos   []int32 // [target*n+rater] positive ratings
-	neg   []int32 // [target*n+rater] negative ratings
+	n int
+
+	// raters[target] lists, in ascending order, every rater j with
+	// N_(target,j) > 0 — the target's active-rater adjacency. Detection
+	// inner loops iterate these lists instead of scanning all n columns,
+	// which is what makes the hot path cost proportional to the number of
+	// nonzero pairs.
+	raters [][]int32
+	// cntTotal/cntPos/cntNeg are aligned with raters: cntTotal[target][k]
+	// is N_(target, raters[target][k]), and likewise for the positive and
+	// negative splits. A neutral (polarity 0) rating counts toward the
+	// total only, so neg is not derivable from total-pos.
+	cntTotal [][]int32
+	cntPos   [][]int32
+	cntNeg   [][]int32
 
 	recvTotal []int64 // N_i per target
 	recvPos   []int64
 	recvNeg   []int64
 	sentTotal []int64 // outgoing ratings per rater
 
-	// raters[target] lists, in ascending order, every rater j with
-	// N_(target,j) > 0 — the target's active-rater adjacency. Detection
-	// inner loops iterate these lists instead of scanning all n columns,
-	// which is what makes the hot path cost proportional to the number of
-	// nonzero pairs (the matrix is ~1 rating/pair-year sparse in the
-	// paper's traces, characteristic C4).
-	raters [][]int32
+	// dirty/dirtyList track which target rows changed since the last
+	// ClearDirty — the deterministic dirty set incremental detection keys
+	// its per-pair memoization on (see DirtyTargets).
+	dirty     []bool
+	dirtyList []int32
 }
 
 // NewLedger creates an empty ledger for n nodes. It panics if n <= 0.
+// Allocation is O(n): the per-pair count storage grows with the number of
+// distinct rating pairs actually recorded.
 func NewLedger(n int) *Ledger {
 	if n <= 0 {
 		panic(fmt.Sprintf("reputation: NewLedger(%d), want n > 0", n))
 	}
 	return &Ledger{
 		n:         n,
-		total:     make([]int32, n*n),
-		pos:       make([]int32, n*n),
-		neg:       make([]int32, n*n),
+		raters:    make([][]int32, n),
+		cntTotal:  make([][]int32, n),
+		cntPos:    make([][]int32, n),
+		cntNeg:    make([][]int32, n),
 		recvTotal: make([]int64, n),
 		recvPos:   make([]int64, n),
 		recvNeg:   make([]int64, n),
 		sentTotal: make([]int64, n),
-		raters:    make([][]int32, n),
+		dirty:     make([]bool, n),
 	}
 }
 
@@ -75,41 +95,55 @@ func (l *Ledger) Record(rater, target, polarity int) {
 	if polarity < -1 || polarity > 1 {
 		panic(fmt.Sprintf("reputation: polarity %d, want -1, 0 or 1", polarity))
 	}
-	idx := target*l.n + rater
-	if l.total[idx] == 0 {
-		l.insertRater(target, int32(rater))
+	idx, found := findRater(l.raters[target], int32(rater))
+	if !found {
+		l.insertRaterAt(target, idx, int32(rater))
 	}
-	l.total[idx]++
+	l.cntTotal[target][idx]++
 	l.recvTotal[target]++
 	l.sentTotal[rater]++
 	switch polarity {
 	case 1:
-		l.pos[idx]++
+		l.cntPos[target][idx]++
 		l.recvPos[target]++
 	case -1:
-		l.neg[idx]++
+		l.cntNeg[target][idx]++
 		l.recvNeg[target]++
 	}
+	l.markDirty(target)
 }
 
-// insertRater adds rater to target's adjacency list, keeping it sorted
-// ascending. Lists stay short on sparse workloads, so the shifting insert
-// is cheap; the binary search keeps the common repeat-rating case O(log k).
-func (l *Ledger) insertRater(target int, rater int32) {
-	rs := l.raters[target]
+// findRater binary-searches an ascending adjacency list. It returns the
+// index of rater when present, else the insertion position.
+func findRater(rs []int32, rater int32) (int, bool) {
 	lo, hi := 0, len(rs)
 	for lo < hi {
-		mid := (lo + hi) / 2
+		mid := int(uint(lo+hi) >> 1)
 		if rs[mid] < rater {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	rs = append(rs, 0)
-	copy(rs[lo+1:], rs[lo:])
-	rs[lo] = rater
-	l.raters[target] = rs
+	return lo, lo < len(rs) && rs[lo] == rater
+}
+
+// insertRaterAt adds rater to target's adjacency at position idx, keeping
+// all four aligned slices in ascending-rater order with zero counts. Lists
+// stay short on sparse workloads, so the shifting insert is cheap.
+func (l *Ledger) insertRaterAt(target, idx int, rater int32) {
+	l.raters[target] = insert32(l.raters[target], idx, rater)
+	l.cntTotal[target] = insert32(l.cntTotal[target], idx, 0)
+	l.cntPos[target] = insert32(l.cntPos[target], idx, 0)
+	l.cntNeg[target] = insert32(l.cntNeg[target], idx, 0)
+}
+
+// insert32 inserts v at position i, shifting the tail right.
+func insert32(xs []int32, i int, v int32) []int32 {
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
 }
 
 // RatersOf returns the ascending indices of every rater that has rated
@@ -120,24 +154,88 @@ func (l *Ledger) RatersOf(target int) []int32 {
 	return l.raters[target]
 }
 
-// Reset clears the ledger for a new period T.
+// PairCounts is one target row's adjacency with its aligned per-pair
+// counts: for each k, Raters[k] rated the target Total[k] times, Pos[k]
+// positively and Neg[k] negatively. Raters is ascending.
+type PairCounts struct {
+	Raters []int32
+	Total  []int32
+	Pos    []int32
+	Neg    []int32
+}
+
+// PairCountsOf returns target's active raters together with the aligned
+// rating counts, so detection and scoring loops read N_(i,j) in the same
+// pass as the adjacency with no per-pair lookup. Live view, same
+// invalidation rules as RatersOf.
+func (l *Ledger) PairCountsOf(target int) PairCounts {
+	return PairCounts{
+		Raters: l.raters[target],
+		Total:  l.cntTotal[target],
+		Pos:    l.cntPos[target],
+		Neg:    l.cntNeg[target],
+	}
+}
+
+// DirtyTargets returns, ascending, every target whose received-rating row
+// changed (Record, Merge or Reset) since the last ClearDirty — or since
+// creation. The set depends only on the sequence of mutations, never on
+// map order or timing, so passing it to the incremental detectors keeps
+// seeded runs deterministic. The returned slice is freshly allocated.
+func (l *Ledger) DirtyTargets() []int {
+	if len(l.dirtyList) == 0 {
+		return nil
+	}
+	out := make([]int, len(l.dirtyList))
+	for i, t := range l.dirtyList {
+		out[i] = int(t)
+	}
+	sortInts(out)
+	return out
+}
+
+// ClearDirty empties the dirty-target set. Callers snapshot DirtyTargets,
+// feed it to incremental detection, then clear.
+func (l *Ledger) ClearDirty() {
+	for _, t := range l.dirtyList {
+		l.dirty[t] = false
+	}
+	l.dirtyList = l.dirtyList[:0]
+}
+
+func (l *Ledger) markDirty(target int) {
+	if !l.dirty[target] {
+		l.dirty[target] = true
+		l.dirtyList = append(l.dirtyList, int32(target))
+	}
+}
+
+// sortInts is an allocation-free insertion sort; dirty lists are short
+// (bounded by the targets touched in one period).
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Reset clears the ledger for a new period T. Cost is O(n): per-target
+// slices are truncated in place, keeping their storage for reuse.
 func (l *Ledger) Reset() {
-	clearInt32(l.total)
-	clearInt32(l.pos)
-	clearInt32(l.neg)
+	for i := range l.raters {
+		if len(l.raters[i]) > 0 {
+			l.markDirty(i)
+		}
+		l.raters[i] = l.raters[i][:0]
+		l.cntTotal[i] = l.cntTotal[i][:0]
+		l.cntPos[i] = l.cntPos[i][:0]
+		l.cntNeg[i] = l.cntNeg[i][:0]
+	}
 	clearInt64(l.recvTotal)
 	clearInt64(l.recvPos)
 	clearInt64(l.recvNeg)
 	clearInt64(l.sentTotal)
-	for i := range l.raters {
-		l.raters[i] = l.raters[i][:0]
-	}
-}
-
-func clearInt32(xs []int32) {
-	for i := range xs {
-		xs[i] = 0
-	}
 }
 
 func clearInt64(xs []int64) {
@@ -161,18 +259,29 @@ func (l *Ledger) NegativeFor(target int) int { return int(l.recvNeg[target]) }
 func (l *Ledger) OutgoingTotal(rater int) int { return int(l.sentTotal[rater]) }
 
 // PairTotal returns N_(i,j): ratings target i received from rater j.
+// Random access binary-searches the row adjacency; loops that walk a whole
+// row should use PairCountsOf instead.
 func (l *Ledger) PairTotal(target, rater int) int {
-	return int(l.total[target*l.n+rater])
+	if idx, found := findRater(l.raters[target], int32(rater)); found {
+		return int(l.cntTotal[target][idx])
+	}
+	return 0
 }
 
 // PairPositive returns N+_(i,j).
 func (l *Ledger) PairPositive(target, rater int) int {
-	return int(l.pos[target*l.n+rater])
+	if idx, found := findRater(l.raters[target], int32(rater)); found {
+		return int(l.cntPos[target][idx])
+	}
+	return 0
 }
 
 // PairNegative returns N-_(i,j).
 func (l *Ledger) PairNegative(target, rater int) int {
-	return int(l.neg[target*l.n+rater])
+	if idx, found := findRater(l.raters[target], int32(rater)); found {
+		return int(l.cntNeg[target][idx])
+	}
+	return 0
 }
 
 // OthersTotal returns N_(i,-j): ratings target i received from everyone
@@ -197,73 +306,105 @@ func (l *Ledger) SummationScore(target int) int {
 // minus negative ratings i gave j. This is the EigenTrust local trust
 // input before normalization.
 func (l *Ledger) LocalTrust(rater, target int) int {
-	idx := target*l.n + rater
-	return int(l.pos[idx] - l.neg[idx])
+	if idx, found := findRater(l.raters[target], int32(rater)); found {
+		return int(l.cntPos[target][idx] - l.cntNeg[target][idx])
+	}
+	return 0
 }
 
-// Clone returns a deep copy of the ledger.
+// Clone returns a deep copy of the ledger, including its dirty set.
 func (l *Ledger) Clone() *Ledger {
 	c := NewLedger(l.n)
-	copy(c.total, l.total)
-	copy(c.pos, l.pos)
-	copy(c.neg, l.neg)
+	for i := range l.raters {
+		c.raters[i] = append([]int32(nil), l.raters[i]...)
+		c.cntTotal[i] = append([]int32(nil), l.cntTotal[i]...)
+		c.cntPos[i] = append([]int32(nil), l.cntPos[i]...)
+		c.cntNeg[i] = append([]int32(nil), l.cntNeg[i]...)
+	}
 	copy(c.recvTotal, l.recvTotal)
 	copy(c.recvPos, l.recvPos)
 	copy(c.recvNeg, l.recvNeg)
 	copy(c.sentTotal, l.sentTotal)
-	for i, rs := range l.raters {
-		c.raters[i] = append([]int32(nil), rs...)
-	}
+	copy(c.dirty, l.dirty)
+	c.dirtyList = append([]int32(nil), l.dirtyList...)
 	return c
 }
 
 // Merge adds every count of other into l. Both ledgers must cover the same
-// population.
+// population. Only other's nonzero rows are visited, so merging costs
+// O(n + nnz(l) + nnz(other)) — not the dense n² walk.
 func (l *Ledger) Merge(other *Ledger) error {
 	if other.n != l.n {
 		return fmt.Errorf("reputation: merging ledger of size %d into size %d", other.n, l.n)
 	}
-	for i := range l.total {
-		l.total[i] += other.total[i]
-		l.pos[i] += other.pos[i]
-		l.neg[i] += other.neg[i]
+	for t := 0; t < l.n; t++ {
+		if len(other.raters[t]) == 0 {
+			continue
+		}
+		l.mergeRow(t, other)
+		l.recvTotal[t] += other.recvTotal[t]
+		l.recvPos[t] += other.recvPos[t]
+		l.recvNeg[t] += other.recvNeg[t]
+		l.markDirty(t)
 	}
-	for i := 0; i < l.n; i++ {
-		l.recvTotal[i] += other.recvTotal[i]
-		l.recvPos[i] += other.recvPos[i]
-		l.recvNeg[i] += other.recvNeg[i]
-		l.sentTotal[i] += other.sentTotal[i]
-		l.raters[i] = mergeSorted(l.raters[i], other.raters[i])
+	for r := 0; r < l.n; r++ {
+		l.sentTotal[r] += other.sentTotal[r]
 	}
 	return nil
 }
 
-// mergeSorted unions two ascending rater lists. It returns a in place when
-// b contributes nothing new.
-func mergeSorted(a, b []int32) []int32 {
-	if len(b) == 0 {
-		return a
-	}
+// mergeRow folds other's row for target t into l's, keeping the aligned
+// adjacency ascending.
+func (l *Ledger) mergeRow(t int, other *Ledger) {
+	b := other.raters[t]
+	a := l.raters[t]
 	if len(a) == 0 {
-		return append(a, b...)
+		// Fresh row: copy other's, reusing any truncated capacity.
+		l.raters[t] = append(a, b...)
+		l.cntTotal[t] = append(l.cntTotal[t], other.cntTotal[t]...)
+		l.cntPos[t] = append(l.cntPos[t], other.cntPos[t]...)
+		l.cntNeg[t] = append(l.cntNeg[t], other.cntNeg[t]...)
+		return
 	}
-	out := make([]int32, 0, len(a)+len(b))
+	mr := make([]int32, 0, len(a)+len(b))
+	mt := make([]int32, 0, len(a)+len(b))
+	mp := make([]int32, 0, len(a)+len(b))
+	mn := make([]int32, 0, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] < b[j]:
-			out = append(out, a[i])
+			mr = append(mr, a[i])
+			mt = append(mt, l.cntTotal[t][i])
+			mp = append(mp, l.cntPos[t][i])
+			mn = append(mn, l.cntNeg[t][i])
 			i++
 		case a[i] > b[j]:
-			out = append(out, b[j])
+			mr = append(mr, b[j])
+			mt = append(mt, other.cntTotal[t][j])
+			mp = append(mp, other.cntPos[t][j])
+			mn = append(mn, other.cntNeg[t][j])
 			j++
 		default:
-			out = append(out, a[i])
+			mr = append(mr, a[i])
+			mt = append(mt, l.cntTotal[t][i]+other.cntTotal[t][j])
+			mp = append(mp, l.cntPos[t][i]+other.cntPos[t][j])
+			mn = append(mn, l.cntNeg[t][i]+other.cntNeg[t][j])
 			i++
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	for ; i < len(a); i++ {
+		mr = append(mr, a[i])
+		mt = append(mt, l.cntTotal[t][i])
+		mp = append(mp, l.cntPos[t][i])
+		mn = append(mn, l.cntNeg[t][i])
+	}
+	for ; j < len(b); j++ {
+		mr = append(mr, b[j])
+		mt = append(mt, other.cntTotal[t][j])
+		mp = append(mp, other.cntPos[t][j])
+		mn = append(mn, other.cntNeg[t][j])
+	}
+	l.raters[t], l.cntTotal[t], l.cntPos[t], l.cntNeg[t] = mr, mt, mp, mn
 }

@@ -117,7 +117,7 @@ func TestRatersOfEmptyAndSingle(t *testing.T) {
 	}
 }
 
-func TestMergeSortedUnion(t *testing.T) {
+func TestMergeRowUnion(t *testing.T) {
 	cases := []struct{ a, b, want []int32 }{
 		{nil, nil, nil},
 		{[]int32{1, 3}, nil, []int32{1, 3}},
@@ -126,13 +126,25 @@ func TestMergeSortedUnion(t *testing.T) {
 		{[]int32{1, 2}, []int32{1, 2}, []int32{1, 2}},
 	}
 	for _, c := range cases {
-		got := mergeSorted(append([]int32(nil), c.a...), c.b)
+		// Row 0's adjacency is driven through the public API: each listed
+		// rater records once about target 0.
+		l, other := NewLedger(8), NewLedger(8)
+		for _, r := range c.a {
+			l.Record(int(r), 0, 1)
+		}
+		for _, r := range c.b {
+			other.Record(int(r), 0, 1)
+		}
+		if err := l.Merge(other); err != nil {
+			t.Fatal(err)
+		}
+		got := l.RatersOf(0)
 		if len(got) != len(c.want) {
-			t.Fatalf("mergeSorted(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+			t.Fatalf("Merge(%v, %v) adjacency = %v, want %v", c.a, c.b, got, c.want)
 		}
 		for i := range got {
 			if got[i] != c.want[i] {
-				t.Fatalf("mergeSorted(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+				t.Fatalf("Merge(%v, %v) adjacency = %v, want %v", c.a, c.b, got, c.want)
 			}
 		}
 	}

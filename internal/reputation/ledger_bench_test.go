@@ -1,0 +1,39 @@
+package reputation
+
+import (
+	"testing"
+
+	"github.com/p2psim/collusion/internal/rng"
+)
+
+// BenchmarkLedgerFootprintSparse100k measures the memory cost of building
+// a 100,000-node ledger holding ~10 ratings/node — the bytes/op column is
+// the ledger's whole-life allocation footprint. The dense representation
+// this PR removed would have allocated three 100k² int32 arrays (~120 GB)
+// before the first rating; the CSR ledger's acceptance bound for this
+// workload is < 1 GiB.
+func BenchmarkLedgerFootprintSparse100k(b *testing.B) {
+	const (
+		n       = 100_000
+		ratings = n * 10
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := rng.New(7)
+		l := NewLedger(n)
+		for k := 0; k < ratings; k++ {
+			rater, target := r.Intn(n), r.Intn(n)
+			if rater == target {
+				continue
+			}
+			pol := 1
+			if r.Bool(0.2) {
+				pol = -1
+			}
+			l.Record(rater, target, pol)
+		}
+		if l.TotalFor(0) < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package reputation
+
+import "testing"
+
+// FuzzLedgerRecord feeds arbitrary byte-encoded rating sequences to the
+// sparse ledger and cross-checks every touched row against the dense
+// reference, so the fuzzer explores adjacency insert/merge orders the
+// seeded property tests might miss. Each input byte triple encodes
+// (rater, target, polarity); invalid triples assert the panic contract.
+func FuzzLedgerRecord(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 0, 0, 3, 2, 1})
+	f.Add([]byte{5, 1, 2, 4, 1, 2, 3, 1, 2, 2, 1, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 8
+		l, d := NewLedger(n), newDenseLedger(n)
+		for len(data) >= 3 {
+			rater := int(data[0]) % n
+			target := int(data[1]) % n
+			polarity := int(data[2])%3 - 1
+			data = data[3:]
+			if rater == target {
+				// The contract is a panic; assert it fires and move on.
+				func() {
+					defer func() {
+						if recover() == nil {
+							t.Fatalf("Record(%d, %d) self-rating did not panic", rater, target)
+						}
+					}()
+					l.Record(rater, target, polarity)
+				}()
+				continue
+			}
+			l.Record(rater, target, polarity)
+			d.record(rater, target, polarity)
+		}
+		checkAgainstDense(t, "fuzz", l, d)
+		// A merge into a fresh ledger must reproduce the same counts.
+		m := NewLedger(n)
+		if err := m.Merge(l); err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstDense(t, "fuzz-merge", m, d)
+	})
+}

@@ -61,58 +61,18 @@ func (e *SimilarityWeighted) params() (minOverlap int, neutral float64) {
 func (e *SimilarityWeighted) Scores(l *Ledger) []float64 {
 	n := l.Size()
 	minOverlap, neutral := e.params()
+	credibility := e.credibilityWeights(l, consensusShares(l), minOverlap, neutral, e.Meter)
 
-	// Consensus positive share per target.
-	consensus := make([]float64, n)
-	hasConsensus := make([]bool, n)
-	for target := 0; target < n; target++ {
-		if total := l.TotalFor(target); total > 0 {
-			consensus[target] = float64(l.PositiveFor(target)) / float64(total)
-			hasConsensus[target] = true
-		}
-	}
-
-	// Credibility per rater from deviation against consensus.
-	credibility := make([]float64, n)
-	for rater := 0; rater < n; rater++ {
-		sumSq := 0.0
-		overlap := 0
-		for target := 0; target < n; target++ {
-			if target == rater || !hasConsensus[target] {
-				continue
-			}
-			cnt := l.PairTotal(target, rater)
-			if cnt == 0 {
-				continue
-			}
-			share := float64(l.PairPositive(target, rater)) / float64(cnt)
-			d := share - consensus[target]
-			sumSq += d * d
-			overlap++
-		}
-		if e.Meter != nil {
-			e.Meter.Add(metrics.CostEigenMulAdd, int64(n))
-		}
-		if overlap < minOverlap {
-			credibility[rater] = neutral
-			continue
-		}
-		credibility[rater] = 1 - math.Sqrt(sumSq/float64(overlap))
-		if credibility[rater] < 0 {
-			credibility[rater] = 0
-		}
-	}
-
-	// Credibility-weighted summation.
+	// Credibility-weighted summation: only the target's active raters have
+	// nonzero local trust, and the ascending adjacency keeps the float
+	// accumulation order of the old dense column scan.
 	raw := make([]float64, n)
 	for target := 0; target < n; target++ {
 		sum := 0.0
-		for rater := 0; rater < n; rater++ {
-			if rater == target {
-				continue
-			}
-			if d := l.LocalTrust(rater, target); d != 0 {
-				sum += credibility[rater] * float64(d)
+		pc := l.PairCountsOf(target)
+		for k, r32 := range pc.Raters {
+			if d := pc.Pos[k] - pc.Neg[k]; d != 0 {
+				sum += credibility[r32] * float64(d)
 			}
 		}
 		raw[target] = sum
@@ -124,34 +84,66 @@ func (e *SimilarityWeighted) Scores(l *Ledger) []float64 {
 }
 
 // Credibilities exposes the per-rater credibility weights for one ledger,
-// for diagnostics and tests.
+// for diagnostics and tests. Unlike Scores it charges no meter cost.
 func (e *SimilarityWeighted) Credibilities(l *Ledger) []float64 {
-	n := l.Size()
 	minOverlap, neutral := e.params()
-	consensus := make([]float64, n)
-	hasConsensus := make([]bool, n)
-	for target := 0; target < n; target++ {
+	return e.credibilityWeights(l, consensusShares(l), minOverlap, neutral, nil)
+}
+
+// consensusShares returns each target's all-rater positive share (zero for
+// unrated targets).
+func consensusShares(l *Ledger) []float64 {
+	consensus := make([]float64, l.Size())
+	for target := range consensus {
 		if total := l.TotalFor(target); total > 0 {
 			consensus[target] = float64(l.PositiveFor(target)) / float64(total)
-			hasConsensus[target] = true
 		}
 	}
+	return consensus
+}
+
+// credibilityWeights computes Cr(v) per rater. The ledger stores counts by
+// target row, so the per-rater view is a CSR transpose of the rated pairs,
+// built in one O(n + nnz) pass. Scanning targets in ascending order
+// appends each rater's rated targets ascending, so the deviation sums
+// accumulate in exactly the order of the old dense column scan (a rated
+// pair implies the target has ratings, hence a consensus share, and
+// self-rated pairs cannot exist — the two skips the dense scan needed).
+func (e *SimilarityWeighted) credibilityWeights(l *Ledger, consensus []float64, minOverlap int, neutral float64, meter *metrics.CostMeter) []float64 {
+	n := l.Size()
+	off := make([]int, n+1)
+	for target := 0; target < n; target++ {
+		pc := l.PairCountsOf(target)
+		for _, r32 := range pc.Raters {
+			off[int(r32)+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	// Each transposed edge carries the rater's positive share for that
+	// target minus the consensus — all the deviation pass needs.
+	dev := make([]float64, off[n])
+	fill := make([]int, n)
+	copy(fill, off[:n])
+	for target := 0; target < n; target++ {
+		pc := l.PairCountsOf(target)
+		for k, r32 := range pc.Raters {
+			at := fill[r32]
+			dev[at] = float64(pc.Pos[k])/float64(pc.Total[k]) - consensus[target]
+			fill[r32] = at + 1
+		}
+	}
+
 	out := make([]float64, n)
 	for rater := 0; rater < n; rater++ {
 		sumSq := 0.0
-		overlap := 0
-		for target := 0; target < n; target++ {
-			if target == rater || !hasConsensus[target] {
-				continue
-			}
-			cnt := l.PairTotal(target, rater)
-			if cnt == 0 {
-				continue
-			}
-			share := float64(l.PairPositive(target, rater)) / float64(cnt)
-			d := share - consensus[target]
-			sumSq += d * d
-			overlap++
+		for at := off[rater]; at < off[rater+1]; at++ {
+			sumSq += dev[at] * dev[at]
+		}
+		overlap := off[rater+1] - off[rater]
+		if meter != nil {
+			meter.Add(metrics.CostEigenMulAdd, int64(n))
 		}
 		if overlap < minOverlap {
 			out[rater] = neutral

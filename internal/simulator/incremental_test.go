@@ -1,0 +1,60 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIncrementalRunMatchesFullDetection pins the simulator's incremental
+// wiring end to end. A run on the cumulative ledger takes the
+// DetectIncremental fast path; the same seeded run with WindowCycles
+// covering every cycle takes the full-Detect path over a freshly merged
+// window that contains the identical ratings. Scores, flags, detection
+// cycles and evidence must match exactly — any divergence means the
+// memoized screens changed behavior.
+func TestIncrementalRunMatchesFullDetection(t *testing.T) {
+	for _, det := range []DetectorKind{DetectorBasic, DetectorOptimized} {
+		cfg := DefaultConfig()
+		cfg.ColluderGoodProb = 0.2
+		cfg.Detector = det
+
+		inc, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		full := cfg
+		// A window spanning the whole run merges to the cumulative ledger
+		// each cycle, but its Ledger value changes every cycle, which keeps
+		// the detector on the from-scratch path.
+		full.WindowCycles = cfg.SimCycles + 1
+		want, err := Run(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		name := det.String()
+		if len(inc.DetectedPairs) != len(want.DetectedPairs) {
+			t.Fatalf("%s: incremental found %d pairs, full %d\ninc  %+v\nfull %+v",
+				name, len(inc.DetectedPairs), len(want.DetectedPairs), inc.DetectedPairs, want.DetectedPairs)
+		}
+		for i := range want.DetectedPairs {
+			if inc.DetectedPairs[i] != want.DetectedPairs[i] {
+				t.Fatalf("%s: pair %d = %+v, full detection %+v", name, i, inc.DetectedPairs[i], want.DetectedPairs[i])
+			}
+		}
+		for i := range want.Flagged {
+			if inc.Flagged[i] != want.Flagged[i] {
+				t.Fatalf("%s: Flagged[%d] = %v, full detection %v", name, i, inc.Flagged[i], want.Flagged[i])
+			}
+			if inc.DetectionCycle[i] != want.DetectionCycle[i] {
+				t.Fatalf("%s: DetectionCycle[%d] = %d, full detection %d",
+					name, i, inc.DetectionCycle[i], want.DetectionCycle[i])
+			}
+			// Bit-identity, the strongest equality claim and lint-clean.
+			if math.Float64bits(inc.Scores[i]) != math.Float64bits(want.Scores[i]) {
+				t.Fatalf("%s: Scores[%d] = %v, full detection %v", name, i, inc.Scores[i], want.Scores[i])
+			}
+		}
+	}
+}

@@ -430,13 +430,9 @@ func (s *state) observePairFrequencies() {
 	}
 	n := s.ledger.Size()
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			if c := s.ledger.PairTotal(i, j); c > 0 {
-				h.Observe(int64(c))
-			}
+		pc := s.ledger.PairCountsOf(i)
+		for k := range pc.Raters {
+			h.Observe(int64(pc.Total[k]))
 		}
 	}
 }
@@ -486,7 +482,7 @@ func (s *state) runDetection() {
 	if s.det == nil {
 		return
 	}
-	res := s.det.Detect(period)
+	res := s.detectPairs(period)
 	for _, e := range res.Pairs {
 		key := [2]int{e.I, e.J}
 		if _, ok := s.pairs[key]; !ok {
@@ -495,6 +491,23 @@ func (s *state) runDetection() {
 		s.flag(e.I)
 		s.flag(e.J)
 	}
+}
+
+// detectPairs runs the pairwise detector over the period ledger. On the
+// cumulative-ledger path the detector sees the same Ledger value every
+// cycle, so it can replay memoized per-pair screens for targets whose
+// received ratings did not change since the previous cycle — the
+// detector's contract guarantees identical pairs, meter charges, and
+// audit events. The windowed path rebuilds a fresh merged ledger each
+// cycle, which would reset the memo anyway, so it stays on the full pass.
+func (s *state) detectPairs(period *reputation.Ledger) core.Result {
+	if inc, ok := s.det.(core.IncrementalDetector); ok && s.windowed == nil {
+		dirty := period.DirtyTargets()
+		res := inc.DetectIncremental(period, dirty)
+		period.ClearDirty()
+		return res
+	}
+	return s.det.Detect(period)
 }
 
 // flag marks a node as detected, zeroes its reputation, and records the
