@@ -25,10 +25,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Benchmarks that feed the checked-in baseline: the detection hot path
-# plus the ledger memory-footprint benchmark that pins the CSR storage.
-BENCH_PATTERN = Detect|LedgerFootprint
-BENCH_PKGS = ./internal/core/ ./internal/reputation/
+# Benchmarks that feed the checked-in baseline: the detection hot path,
+# the ledger memory-footprint benchmark that pins the CSR storage, and
+# the streaming-ingest throughput benchmarks (sharded intake + window
+# rollover).
+BENCH_PATTERN = Detect|LedgerFootprint|ShardedIngest|WindowRollover
+BENCH_PKGS = ./internal/core/ ./internal/reputation/ ./internal/ingest/
 
 # Refresh the checked-in detector benchmark baseline. Runs the detection
 # hot-path benchmarks and stores name/ns_per_op/bytes_per_op/allocs_per_op
@@ -57,7 +59,7 @@ cover:
 # Run every fuzz target in the fuzzed packages for a short burst each; the
 # target list is discovered dynamically so new Fuzz* functions are picked
 # up automatically.
-FUZZ_PKGS = ./internal/trace/ ./internal/reputation/
+FUZZ_PKGS = ./internal/trace/ ./internal/reputation/ ./internal/ingest/
 fuzz:
 	@set -e; \
 	for pkg in $(FUZZ_PKGS); do \

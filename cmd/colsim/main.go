@@ -7,7 +7,8 @@
 //	colsim [-nodes 200] [-colluders 8] [-b 0.6]
 //	       [-engine eigentrust|summation|weighted|iterative|similarity]
 //	       [-detector none|basic|optimized|group|sybil]
-//	       [-compromised] [-ring 0] [-swarm 0] [-cycles 20] [-runs 1] [-seed 1]
+//	       [-compromised] [-ring 0] [-swarm 0] [-cycles 20] [-window 0]
+//	       [-ingest-shards 0] [-runs 1] [-seed 1]
 //	       [-trace trace.jsonl] [-metrics metrics.json|metrics.prom]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -53,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ringSize    = fs.Int("ring", 0, "also plant one colluder ring of this size (>= 3)")
 		swarmSize   = fs.Int("swarm", 0, "also plant one Sybil swarm with this many fake boosters (>= 2)")
 		cycles      = fs.Int("cycles", 20, "simulation cycles")
+		window      = fs.Int("window", 0, "sliding-window length in simulation cycles (0: cumulative)")
+		shards      = fs.Int("ingest-shards", 0, "writer goroutines for sharded rating ingest (0: immediate single-writer records)")
 		runs        = fs.Int("runs", 1, "runs to average")
 		seed        = fs.Uint64("seed", 1, "random seed")
 		tracePath   = fs.String("trace", "", "write the deterministic JSONL run trace to this file")
@@ -68,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg.Seed = *seed
 	cfg.Overlay.Nodes = *nodes
 	cfg.SimCycles = *cycles
+	cfg.WindowCycles = *window
+	cfg.IngestShards = *shards
 	cfg.ColluderGoodProb = *b
 	cfg.Colluders = make([]int, *colluders)
 	for i := range cfg.Colluders {
@@ -179,6 +184,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 		reg.Gauge("run.flagged_total").Set(float64(flagged))
+		if cfg.WindowCycles > 0 {
+			reg.Gauge("window.delta_rows").Set(float64(res.WindowDeltaRows))
+		}
 	}
 	fmt.Fprintln(stdout, "operation costs:")
 	snap := meter.Snapshot()

@@ -1,0 +1,62 @@
+package ingest
+
+import (
+	"testing"
+
+	"github.com/p2psim/collusion/internal/reputation"
+)
+
+// FuzzShardMerge feeds arbitrary byte-encoded batches through the sharded
+// ingest pipeline at several shard counts and cross-checks each result
+// against sequential Record calls, so the fuzzer explores shard-boundary
+// and merge-order interleavings the seeded equivalence trials might miss.
+// The first byte picks the shard count; each following triple encodes
+// (rater, target, polarity). Self-ratings are skipped: the batch contract
+// mirrors Record's panic contract, which FuzzLedgerRecord already covers.
+func FuzzShardMerge(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 2, 1, 0, 0, 3, 2, 1})
+	f.Add([]byte{8, 5, 1, 2, 4, 1, 2, 3, 1, 2, 2, 1, 2})
+	f.Add([]byte{2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 8
+		shards := 1
+		if len(data) > 0 {
+			shards = 1 + int(data[0])%8
+			data = data[1:]
+		}
+		var batch []Rating
+		want := reputation.NewLedger(n)
+		for len(data) >= 3 {
+			rater := int(data[0]) % n
+			target := int(data[1]) % n
+			polarity := int(data[2])%3 - 1
+			data = data[3:]
+			if rater == target {
+				continue
+			}
+			batch = append(batch, Rating{
+				Rater:    int32(rater),
+				Target:   int32(target),
+				Polarity: int8(polarity),
+			})
+			want.Record(rater, target, polarity)
+		}
+		got := reputation.NewLedger(n)
+		g := &Ingester{Shards: shards}
+		if err := g.Ingest(batch, got); err != nil {
+			t.Fatal(err)
+		}
+		requireLedgersEqual(t, "fuzz sharded ingest", got, want, true)
+		// A second batch through the same Ingester exercises delta reuse.
+		if err := g.Ingest(batch, got); err != nil {
+			t.Fatal(err)
+		}
+		double := reputation.NewLedger(n)
+		for _, rec := range batch {
+			double.Record(int(rec.Rater), int(rec.Target), int(rec.Polarity))
+			double.Record(int(rec.Rater), int(rec.Target), int(rec.Polarity))
+		}
+		requireLedgersEqual(t, "fuzz repeated batch", got, double, true)
+	})
+}

@@ -1,0 +1,230 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/p2psim/collusion/internal/obs"
+	"github.com/p2psim/collusion/internal/reputation"
+	"github.com/p2psim/collusion/internal/rng"
+	"github.com/p2psim/collusion/internal/trace"
+)
+
+// randomBatch builds count random ratings over an n-node population,
+// skipping self-ratings.
+func randomBatch(r *rng.Rand, n, count int) []Rating {
+	batch := make([]Rating, 0, count)
+	for k := 0; k < count; k++ {
+		rater, target := r.Intn(n), r.Intn(n)
+		if rater == target {
+			continue
+		}
+		batch = append(batch, Rating{
+			Rater:    int32(rater),
+			Target:   int32(target),
+			Polarity: int8(r.Intn(3) - 1),
+		})
+	}
+	return batch
+}
+
+// requireLedgersEqual asserts every observable of got matches want:
+// population, per-target adjacency with aligned counts, receive and sent
+// totals, and (when checkDirty) the sorted dirty-target set.
+func requireLedgersEqual(t *testing.T, step string, got, want *reputation.Ledger, checkDirty bool) {
+	t.Helper()
+	if got.Size() != want.Size() {
+		t.Fatalf("%s: Size = %d, want %d", step, got.Size(), want.Size())
+	}
+	for target := 0; target < want.Size(); target++ {
+		gp, wp := got.PairCountsOf(target), want.PairCountsOf(target)
+		if len(gp.Raters) != len(wp.Raters) {
+			t.Fatalf("%s: target %d has raters %v, want %v", step, target, gp.Raters, wp.Raters)
+		}
+		for k := range wp.Raters {
+			if gp.Raters[k] != wp.Raters[k] || gp.Total[k] != wp.Total[k] ||
+				gp.Pos[k] != wp.Pos[k] || gp.Neg[k] != wp.Neg[k] {
+				t.Fatalf("%s: target %d entry %d = (r%d %d/%d/%d), want (r%d %d/%d/%d)",
+					step, target, k,
+					gp.Raters[k], gp.Total[k], gp.Pos[k], gp.Neg[k],
+					wp.Raters[k], wp.Total[k], wp.Pos[k], wp.Neg[k])
+			}
+		}
+		if got.TotalFor(target) != want.TotalFor(target) ||
+			got.PositiveFor(target) != want.PositiveFor(target) ||
+			got.NegativeFor(target) != want.NegativeFor(target) ||
+			got.OutgoingTotal(target) != want.OutgoingTotal(target) {
+			t.Fatalf("%s: target %d totals differ", step, target)
+		}
+	}
+	if !checkDirty {
+		return
+	}
+	gd, wd := got.DirtyTargets(), want.DirtyTargets()
+	if len(gd) != len(wd) {
+		t.Fatalf("%s: DirtyTargets = %v, want %v", step, gd, wd)
+	}
+	for i := range wd {
+		if gd[i] != wd[i] {
+			t.Fatalf("%s: DirtyTargets = %v, want %v", step, gd, wd)
+		}
+	}
+}
+
+// TestShardedMatchesSequential is the subsystem's core determinism gate:
+// for every shard count the sharded ingest must be observationally
+// identical to sequential Record calls — adjacency, counts, totals, and
+// the sorted dirty set.
+func TestShardedMatchesSequential(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(60)
+		batch := randomBatch(r, n, r.Intn(800))
+
+		want := reputation.NewLedger(n)
+		for _, rec := range batch {
+			want.Record(int(rec.Rater), int(rec.Target), int(rec.Polarity))
+		}
+
+		for _, k := range []int{1, 2, 4, 8} {
+			got := reputation.NewLedger(n)
+			g := &Ingester{Shards: k}
+			if err := g.Ingest(batch, got); err != nil {
+				t.Fatalf("shards=%d: %v", k, err)
+			}
+			requireLedgersEqual(t, "sharded ingest", got, want, true)
+		}
+	}
+}
+
+// TestIngesterReuseAcrossBatches drives several batches through one
+// Ingester instance (the simulator's per-cycle flush pattern) to pin the
+// delta-cache reuse: accumulated state must match one sequential pass.
+func TestIngesterReuseAcrossBatches(t *testing.T) {
+	r := rng.New(47)
+	const n = 40
+	want := reputation.NewLedger(n)
+	got := reputation.NewLedger(n)
+	g := &Ingester{Shards: 4}
+	for cycle := 0; cycle < 20; cycle++ {
+		batch := randomBatch(r, n, r.Intn(300))
+		for _, rec := range batch {
+			want.Record(int(rec.Rater), int(rec.Target), int(rec.Polarity))
+		}
+		if err := g.Ingest(batch, got); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireLedgersEqual(t, "multi-batch reuse", got, want, true)
+}
+
+// TestIngestMultipleDestinations mirrors the windowed simulator flush:
+// one batch folds into both the cumulative ledger and the open window
+// delta, and both must match the sequential reference.
+func TestIngestMultipleDestinations(t *testing.T) {
+	r := rng.New(53)
+	const n = 30
+	batch := randomBatch(r, n, 500)
+	want := reputation.NewLedger(n)
+	for _, rec := range batch {
+		want.Record(int(rec.Rater), int(rec.Target), int(rec.Polarity))
+	}
+	a, b := reputation.NewLedger(n), reputation.NewLedger(n)
+	g := &Ingester{Shards: 3}
+	if err := g.Ingest(batch, a, b); err != nil {
+		t.Fatal(err)
+	}
+	requireLedgersEqual(t, "destination a", a, want, true)
+	requireLedgersEqual(t, "destination b", b, want, true)
+}
+
+// TestIngestAuditByteIdentity pins the trace contract: ingest_audit
+// events carry only batch-derived attributes, so the emitted trace bytes
+// are identical for every shard count.
+func TestIngestAuditByteIdentity(t *testing.T) {
+	r := rng.New(61)
+	const n = 50
+	batches := make([][]Rating, 6)
+	for i := range batches {
+		batches[i] = randomBatch(r, n, 200+r.Intn(200))
+	}
+	traceFor := func(shards int) []byte {
+		var sink obs.BufferSink
+		g := &Ingester{Shards: shards, Tracer: obs.NewTracer(&sink)}
+		dst := reputation.NewLedger(n)
+		for _, b := range batches {
+			if err := g.Ingest(b, dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sink.Bytes()
+	}
+	ref := traceFor(1)
+	if len(ref) == 0 {
+		t.Fatal("sequential ingest emitted no audit events")
+	}
+	for _, k := range []int{2, 4, 8} {
+		if !bytes.Equal(ref, traceFor(k)) {
+			t.Fatalf("shards=%d changed the audit trace bytes", k)
+		}
+	}
+}
+
+// TestRecordsPerShardHistogram checks the intake metric: one observation
+// per shard per batch, summing to the batch size.
+func TestRecordsPerShardHistogram(t *testing.T) {
+	r := rng.New(67)
+	const n = 40
+	batch := randomBatch(r, n, 600)
+	reg := obs.NewRegistry(nil)
+	g := &Ingester{Shards: 4, Obs: reg}
+	if err := g.Ingest(batch, reputation.NewLedger(n)); err != nil {
+		t.Fatal(err)
+	}
+	h := reg.Histogram("ingest.records_per_shard")
+	if h.Count() != 4 {
+		t.Fatalf("histogram count = %d, want one observation per shard (4)", h.Count())
+	}
+	if h.Sum() != int64(len(batch)) {
+		t.Fatalf("histogram sum = %d, want batch size %d", h.Sum(), len(batch))
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	g := &Ingester{Shards: 2}
+	if err := g.Ingest([]Rating{{Rater: 0, Target: 1, Polarity: 1}}); err == nil {
+		t.Error("missing destinations not reported")
+	}
+	if err := g.Ingest([]Rating{{Rater: 0, Target: 1, Polarity: 1}},
+		reputation.NewLedger(4), reputation.NewLedger(5)); err == nil {
+		t.Error("destination size mismatch not reported")
+	}
+}
+
+// TestReplayTrace checks the trace bridge: score-to-polarity conversion,
+// population sizing, and shard-count independence of the replayed ledger.
+func TestReplayTrace(t *testing.T) {
+	tr := &trace.Trace{Ratings: []trace.Rating{
+		{Day: 1, Rater: 0, Target: 3, Score: 5},
+		{Day: 2, Rater: 3, Target: 0, Score: 1},
+		{Day: 3, Rater: 2, Target: 3, Score: 3},
+		{Day: 4, Rater: 1, Target: 1, Score: 4}, // self-rating: dropped
+		{Day: 5, Rater: 4, Target: 2, Score: 4},
+	}}
+	if got := Population(tr); got != 5 {
+		t.Fatalf("Population = %d, want 5", got)
+	}
+	want := reputation.NewLedger(5)
+	want.Record(0, 3, 1)
+	want.Record(3, 0, -1)
+	want.Record(2, 3, 0)
+	want.Record(4, 2, 1)
+	for _, k := range []int{1, 4} {
+		got := reputation.NewLedger(5)
+		g := &Ingester{Shards: k}
+		if err := g.ReplayTrace(tr, got); err != nil {
+			t.Fatal(err)
+		}
+		requireLedgersEqual(t, "trace replay", got, want, true)
+	}
+}

@@ -1,0 +1,131 @@
+package ingest
+
+import (
+	"fmt"
+
+	"github.com/p2psim/collusion/internal/obs"
+	"github.com/p2psim/collusion/internal/reputation"
+)
+
+// WindowLedger maintains a sliding window of rating periods as a ring of
+// per-cycle CSR delta ledgers plus one incrementally-maintained merged
+// view. Where reputation.WindowedLedger re-merges every period of the ring
+// each time the window is read — O(window · nnz) per cycle — WindowLedger
+// pays only for what changed: sealing a cycle merges its delta into the
+// window and, once the ring is full, subtracts the expiring delta
+// (Ledger.Subtract is the exact inverse of Merge, so the merged view is
+// observationally identical to a from-scratch re-merge; the property test
+// pins this against reputation.WindowedLedger over a thousand cycles).
+//
+// Usage follows the simulation loop: Record (or batch-ingest into
+// Current) during a cycle, Roll once when the cycle closes, then read
+// Window. The merged view is live and stable — the same *Ledger instance
+// across cycles — with Merge/Subtract maintaining its dirty-target set,
+// so windowed consumers can drive incremental detection off
+// Window().DirtyTargets() exactly like cumulative ones.
+type WindowLedger struct {
+	n      int
+	window int
+	ring   []*reputation.Ledger // sealed period deltas, ring order
+	head   int                  // ring slot the next sealed delta lands in
+	filled int
+	cur    *reputation.Ledger // the open period's delta
+	merged *reputation.Ledger // incrementally-maintained window view
+
+	rolled    int // cycles sealed so far
+	deltaRows int // distinct targets in the most recently sealed delta
+
+	// Obs, if non-nil, receives the window.delta_rows_per_cycle
+	// histogram: one observation per Roll recording how many target rows
+	// the sealed delta touched. Atomic and order-independent, like all
+	// run-side histogram recording. (The companion window.delta_rows
+	// gauge is set post-run by the CLIs from the final cycle's value.)
+	Obs *obs.Registry
+}
+
+// NewWindowLedger creates a windowed ledger for n nodes spanning window
+// periods (the open period plus window-1 sealed ones). It panics if
+// n <= 0 or window <= 0, mirroring reputation.NewLedger.
+func NewWindowLedger(n, window int) *WindowLedger {
+	if n <= 0 {
+		panic(fmt.Sprintf("ingest: NewWindowLedger(n=%d), want n > 0", n))
+	}
+	if window <= 0 {
+		panic(fmt.Sprintf("ingest: NewWindowLedger(window=%d), want window > 0", window))
+	}
+	return &WindowLedger{
+		n:      n,
+		window: window,
+		ring:   make([]*reputation.Ledger, window),
+		cur:    reputation.NewLedger(n),
+		merged: reputation.NewLedger(n),
+	}
+}
+
+// Size returns the node population.
+func (w *WindowLedger) Size() int { return w.n }
+
+// WindowLength returns the number of periods the window spans.
+func (w *WindowLedger) WindowLength() int { return w.window }
+
+// Periods returns how many sealed periods currently contribute to the
+// merged window (0..window).
+func (w *WindowLedger) Periods() int { return w.filled }
+
+// Record stores one rating in the open period.
+func (w *WindowLedger) Record(rater, target, polarity int) {
+	w.cur.Record(rater, target, polarity)
+}
+
+// Current returns the open period's delta ledger — the destination batch
+// ingest writes into. Live view; sealed by the next Roll.
+func (w *WindowLedger) Current() *reputation.Ledger { return w.cur }
+
+// Roll seals the open period into the window: the expiring delta (if the
+// ring is full) is subtracted from the merged view, the open delta is
+// merged in and pushed onto the ring, and a fresh open period begins,
+// reusing the evicted delta's storage. Cost is O(rows changed), not
+// O(window · nnz).
+func (w *WindowLedger) Roll() {
+	w.deltaRows = len(w.cur.DirtyTargets())
+	var spare *reputation.Ledger
+	if w.filled == w.window {
+		expiring := w.ring[w.head]
+		// Subtract cannot fail: every ring delta shares the population.
+		if err := w.merged.Subtract(expiring); err != nil {
+			panic("ingest: " + err.Error())
+		}
+		spare = expiring
+	}
+	if err := w.merged.Merge(w.cur); err != nil {
+		panic("ingest: " + err.Error())
+	}
+	w.ring[w.head] = w.cur
+	w.head = (w.head + 1) % w.window
+	if w.filled < w.window {
+		w.filled++
+	}
+	if spare != nil {
+		spare.Reset()
+		spare.ClearDirty()
+		w.cur = spare
+	} else {
+		w.cur = reputation.NewLedger(w.n)
+	}
+	w.rolled++
+	w.Obs.Histogram("window.delta_rows_per_cycle").Observe(int64(w.deltaRows))
+}
+
+// Window returns the merged ledger over every sealed period in the
+// window. The view is live and instance-stable across cycles: mutations
+// happen only inside Roll, which maintains the ledger's dirty-target set,
+// so callers may layer incremental detection on top. Callers must not
+// mutate it.
+func (w *WindowLedger) Window() *reputation.Ledger { return w.merged }
+
+// DeltaRows returns how many target rows the most recently sealed period
+// touched — the window.delta_rows gauge the CLIs export after a run.
+func (w *WindowLedger) DeltaRows() int { return w.deltaRows }
+
+// Rolled returns how many periods have been sealed.
+func (w *WindowLedger) Rolled() int { return w.rolled }

@@ -1,0 +1,117 @@
+package ingest
+
+import (
+	"testing"
+
+	"github.com/p2psim/collusion/internal/obs"
+	"github.com/p2psim/collusion/internal/reputation"
+	"github.com/p2psim/collusion/internal/rng"
+)
+
+// TestWindowLedgerMatchesBruteForce is the delta-ring correctness gate:
+// over 1000 random cycles the incrementally-maintained window must be
+// observationally identical to reputation.WindowedLedger's full re-merge
+// at every cycle boundary. The protocols align as follows: the reference
+// records into its open period and its Window() merges the open period
+// with the sealed ones, while WindowLedger seals via Roll before reading
+// — so we compare right after Roll and right before the reference's
+// Advance, when both views span the same set of cycles.
+func TestWindowLedgerMatchesBruteForce(t *testing.T) {
+	r := rng.New(97)
+	const (
+		n      = 50
+		window = 7
+		cycles = 1000
+	)
+	win := NewWindowLedger(n, window)
+	ref := reputation.NewWindowedLedger(n, window)
+	for cycle := 1; cycle <= cycles; cycle++ {
+		count := r.Intn(120)
+		for k := 0; k < count; k++ {
+			rater, target := r.Intn(n), r.Intn(n)
+			if rater == target {
+				continue
+			}
+			pol := r.Intn(3) - 1
+			win.Record(rater, target, pol)
+			ref.Record(rater, target, pol)
+		}
+		win.Roll()
+		if win.Periods() != ref.Periods() {
+			t.Fatalf("cycle %d: Periods = %d, want %d", cycle, win.Periods(), ref.Periods())
+		}
+		requireLedgersEqual(t, "window", win.Window(), ref.Window(), false)
+		ref.Advance()
+	}
+	if win.Rolled() != cycles {
+		t.Fatalf("Rolled = %d, want %d", win.Rolled(), cycles)
+	}
+}
+
+// TestWindowLedgerDirtySupportsIncrementalDetection pins the property the
+// simulator's incremental path would rely on: after ClearDirty, a Roll
+// marks exactly the rows whose window contents changed — rows touched by
+// the sealed delta or by the evicted one.
+func TestWindowLedgerDirtySupportsIncrementalDetection(t *testing.T) {
+	const n, window = 20, 3
+	win := NewWindowLedger(n, window)
+	fill := func(pairs ...[2]int) {
+		for _, p := range pairs {
+			win.Record(p[0], p[1], 1)
+		}
+		win.Roll()
+	}
+	fill([2]int{1, 2})
+	fill([2]int{3, 4})
+	fill([2]int{5, 6})
+	win.Window().ClearDirty()
+	// Sealing {7,8} evicts the cycle that touched target 2.
+	fill([2]int{7, 8})
+	dirty := win.Window().DirtyTargets()
+	want := []int{2, 8}
+	if len(dirty) != len(want) {
+		t.Fatalf("DirtyTargets = %v, want %v", dirty, want)
+	}
+	for i := range want {
+		if dirty[i] != want[i] {
+			t.Fatalf("DirtyTargets = %v, want %v", dirty, want)
+		}
+	}
+}
+
+// TestWindowLedgerDeltaRowsAndHistogram checks the observability hooks:
+// DeltaRows reports the sealed cycle's distinct targets and every Roll
+// lands one observation in the window.delta_rows_per_cycle histogram.
+func TestWindowLedgerDeltaRowsAndHistogram(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	win := NewWindowLedger(10, 2)
+	win.Obs = reg
+	win.Record(0, 1, 1)
+	win.Record(2, 1, 1)
+	win.Record(0, 3, -1)
+	win.Roll()
+	if win.DeltaRows() != 2 {
+		t.Fatalf("DeltaRows = %d, want 2 (targets 1 and 3)", win.DeltaRows())
+	}
+	win.Roll() // empty cycle
+	if win.DeltaRows() != 0 {
+		t.Fatalf("DeltaRows after empty cycle = %d, want 0", win.DeltaRows())
+	}
+	h := reg.Histogram("window.delta_rows_per_cycle")
+	if h.Count() != 2 || h.Sum() != 2 {
+		t.Fatalf("histogram count/sum = %d/%d, want 2/2", h.Count(), h.Sum())
+	}
+}
+
+func TestNewWindowLedgerPanics(t *testing.T) {
+	for _, args := range [][2]int{{0, 3}, {5, 0}, {-1, 2}, {4, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWindowLedger(%d, %d) did not panic", args[0], args[1])
+				}
+			}()
+			NewWindowLedger(args[0], args[1])
+		}()
+	}
+}

@@ -14,6 +14,7 @@ var restrictedTrees = []string{
 	"internal/core",
 	"internal/simulator",
 	"internal/reputation",
+	"internal/ingest",
 	"internal/dht",
 	"internal/overlay",
 	"internal/analysis",

@@ -128,6 +128,16 @@ func TestDeterminismObsRestricted(t *testing.T) {
 	checkFixture(t, lint.DeterminismAnalyzer, pkg)
 }
 
+// TestDeterminismIngestRestricted proves the streaming-ingest subsystem
+// is a seeded tree: its shard partitioning and delta-ring maintenance
+// must never draw on unseeded randomness or the wall clock, so the dirty
+// fixture under internal/ingest yields the same findings as under
+// internal/core.
+func TestDeterminismIngestRestricted(t *testing.T) {
+	pkg := loadFixture(t, "determinism", "internal/ingest/lintfixture")
+	checkFixture(t, lint.DeterminismAnalyzer, pkg)
+}
+
 // TestDeterminismProfExempt proves the explicitly-unseeded profiling
 // harness is carved out: the same dirty fixture under internal/obs/prof
 // yields no findings.

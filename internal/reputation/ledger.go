@@ -353,6 +353,84 @@ func (l *Ledger) Merge(other *Ledger) error {
 	return nil
 }
 
+// Subtract removes every count of other from l — the exact inverse of
+// Merge. Both ledgers must cover the same population, and other must be a
+// sub-ledger of l: every count it holds must be present in l with at least
+// that value. Raters whose pair total reaches zero are dropped from the
+// row adjacency, so subtracting a period delta leaves the ledger
+// observationally identical to a fresh merge of the remaining periods —
+// this is what lets a sliding window retire its expiring cycle without
+// re-merging the whole ring (see internal/ingest.WindowLedger). Underflow
+// panics: handing Subtract anything but a recorded sub-ledger is a
+// programming error, not a data condition. Rows are compacted in place, so
+// live PairCountsOf/RatersOf views of l are invalidated.
+func (l *Ledger) Subtract(other *Ledger) error {
+	if other.n != l.n {
+		return fmt.Errorf("reputation: subtracting ledger of size %d from size %d", other.n, l.n)
+	}
+	for t := 0; t < l.n; t++ {
+		if len(other.raters[t]) == 0 {
+			continue
+		}
+		l.subtractRow(t, other)
+		l.recvTotal[t] -= other.recvTotal[t]
+		l.recvPos[t] -= other.recvPos[t]
+		l.recvNeg[t] -= other.recvNeg[t]
+		if l.recvTotal[t] < 0 || l.recvPos[t] < 0 || l.recvNeg[t] < 0 {
+			panic(fmt.Sprintf("reputation: Subtract underflow on target %d totals", t))
+		}
+		l.markDirty(t)
+	}
+	for r := 0; r < l.n; r++ {
+		l.sentTotal[r] -= other.sentTotal[r]
+		if l.sentTotal[r] < 0 {
+			panic(fmt.Sprintf("reputation: Subtract underflow on rater %d outgoing total", r))
+		}
+	}
+	return nil
+}
+
+// subtractRow removes other's row for target t from l's, compacting the
+// aligned adjacency in place and keeping it ascending. Every rater of
+// other's row must appear in l's with counts at least as large.
+func (l *Ledger) subtractRow(t int, other *Ledger) {
+	a, b := l.raters[t], other.raters[t]
+	out, j := 0, 0
+	for i := 0; i < len(a); i++ {
+		tot, pos, neg := l.cntTotal[t][i], l.cntPos[t][i], l.cntNeg[t][i]
+		if j < len(b) && b[j] == a[i] {
+			tot -= other.cntTotal[t][j]
+			pos -= other.cntPos[t][j]
+			neg -= other.cntNeg[t][j]
+			j++
+		}
+		if tot < 0 || pos < 0 || neg < 0 {
+			panic(fmt.Sprintf("reputation: Subtract underflow on pair (%d, %d)", t, a[i]))
+		}
+		if tot == 0 {
+			// A zero total forces zero splits (pos+neg <= tot per pair), so
+			// the rater leaves the adjacency entirely.
+			if pos != 0 || neg != 0 {
+				panic(fmt.Sprintf("reputation: Subtract left pair (%d, %d) with zero total but %d/%d splits",
+					t, a[i], pos, neg))
+			}
+			continue
+		}
+		a[out] = a[i]
+		l.cntTotal[t][out] = tot
+		l.cntPos[t][out] = pos
+		l.cntNeg[t][out] = neg
+		out++
+	}
+	if j < len(b) {
+		panic(fmt.Sprintf("reputation: Subtract of rater %d absent from target %d's row", b[j], t))
+	}
+	l.raters[t] = a[:out]
+	l.cntTotal[t] = l.cntTotal[t][:out]
+	l.cntPos[t] = l.cntPos[t][:out]
+	l.cntNeg[t] = l.cntNeg[t][:out]
+}
+
 // mergeRow folds other's row for target t into l's, keeping the aligned
 // adjacency ascending.
 func (l *Ledger) mergeRow(t int, other *Ledger) {

@@ -183,6 +183,17 @@ type Config struct {
 	// Every worker count produces bit-identical results; see the
 	// reputation.EigenTrust.Workers documentation for why.
 	Workers int
+	// IngestShards, when >= 1, routes each cycle's ratings through the
+	// internal/ingest sharded pipeline: ratings buffer during the query
+	// cycles and flush in one batch partitioned across IngestShards writer
+	// goroutines before reputations update. 0 keeps the legacy immediate
+	// single-writer Record path. Ratings are only read at simulation-cycle
+	// boundaries, so batching is observationally identical to immediate
+	// recording, and the ingest determinism contract makes every value
+	// >= 1 produce byte-identical ledgers, results and traces (values 0
+	// and >= 1 differ only by the ingest_audit trace events the pipeline
+	// emits).
+	IngestShards int
 	// Meter, if non-nil, accumulates operation costs across the run.
 	Meter *metrics.CostMeter
 	// OnCycle, if non-nil, observes the simulation after every cycle's
@@ -348,6 +359,9 @@ func (c Config) Validate() error {
 	}
 	if c.WindowCycles < 0 {
 		return fmt.Errorf("simulator: WindowCycles = %d, want >= 0", c.WindowCycles)
+	}
+	if c.IngestShards < 0 {
+		return fmt.Errorf("simulator: IngestShards = %d, want >= 0", c.IngestShards)
 	}
 	if c.CollusionStartCycle < 0 || c.CollusionStartCycle > c.SimCycles {
 		return fmt.Errorf("simulator: CollusionStartCycle = %d outside [0,%d]",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/p2psim/collusion/internal/core"
+	"github.com/p2psim/collusion/internal/ingest"
 	"github.com/p2psim/collusion/internal/obs"
 	"github.com/p2psim/collusion/internal/overlay"
 	"github.com/p2psim/collusion/internal/parallel"
@@ -40,6 +41,12 @@ type Result struct {
 	// Ledger is the cumulative period ledger, exposed for post-hoc
 	// analysis and for feeding the decentralized detector.
 	Ledger *reputation.Ledger
+	// WindowDeltaRows is how many target rows the final simulation cycle
+	// touched in the sliding window (0 for cumulative runs) — the
+	// window.delta_rows gauge the CLIs export after a windowed run, and a
+	// direct measure of how much work the delta-ring saved versus a full
+	// window re-merge.
+	WindowDeltaRows int
 }
 
 // PercentToColluders returns the share of requests served by colluders.
@@ -77,6 +84,12 @@ func Run(cfg Config) (*Result, error) {
 		for q := 0; q < cfg.QueryCycles; q++ {
 			s.queryCycle()
 		}
+		if err := s.flushRatings(); err != nil {
+			return nil, err
+		}
+		if s.win != nil {
+			s.win.Roll()
+		}
 		s.updateReputations()
 		s.detect()
 		if tr.Enabled() {
@@ -91,9 +104,6 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.OnCycle != nil {
 			cfg.OnCycle(cycle, s.scores)
 		}
-		if s.windowed != nil && cycle < cfg.SimCycles {
-			s.windowed.Advance()
-		}
 	}
 	s.observePairFrequencies()
 	if err := tr.Err(); err != nil {
@@ -104,13 +114,19 @@ func Run(cfg Config) (*Result, error) {
 
 // state is the mutable simulation state.
 type state struct {
-	cfg      Config
-	net      *overlay.Network
-	r        *rng.Rand
-	ledger   *reputation.Ledger
-	windowed *reputation.WindowedLedger // non-nil when WindowCycles > 0
-	engine   reputation.Engine
-	det      core.Detector
+	cfg    Config
+	net    *overlay.Network
+	r      *rng.Rand
+	ledger *reputation.Ledger
+	win    *ingest.WindowLedger // non-nil when WindowCycles > 0
+	engine reputation.Engine
+	det    core.Detector
+
+	// ingester and batch implement the sharded intake path: when
+	// cfg.IngestShards >= 1, record() buffers into batch and flushRatings
+	// folds the whole cycle through the ingester at the cycle boundary.
+	ingester *ingest.Ingester
+	batch    []ingest.Rating
 
 	activeProb []float64
 	goodProb   []float64
@@ -164,7 +180,15 @@ func newState(cfg Config) (*state, error) {
 		detCycle:   make([]int, n),
 	}
 	if cfg.WindowCycles > 0 {
-		s.windowed = reputation.NewWindowedLedger(n, cfg.WindowCycles)
+		s.win = ingest.NewWindowLedger(n, cfg.WindowCycles)
+		s.win.Obs = cfg.Obs
+	}
+	if cfg.IngestShards >= 1 {
+		s.ingester = &ingest.Ingester{
+			Shards: cfg.IngestShards,
+			Obs:    cfg.Obs,
+			Tracer: cfg.Tracer,
+		}
 	}
 
 	for i := 0; i < n; i++ {
@@ -376,10 +400,23 @@ func (s *state) serve(client, server int) {
 	}
 }
 
+// record accepts one rating. Observers fire and counters advance at
+// record time in both modes; only the ledger write is deferred on the
+// sharded path. Nothing reads the ledgers between records — scores and
+// detection run at simulation-cycle boundaries, after flushRatings — so
+// the two modes are observationally identical.
 func (s *state) record(rater, target, polarity int) {
-	s.ledger.Record(rater, target, polarity)
-	if s.windowed != nil {
-		s.windowed.Record(rater, target, polarity)
+	if s.ingester != nil {
+		s.batch = append(s.batch, ingest.Rating{
+			Rater:    int32(rater),
+			Target:   int32(target),
+			Polarity: int8(polarity),
+		})
+	} else {
+		s.ledger.Record(rater, target, polarity)
+		if s.win != nil {
+			s.win.Record(rater, target, polarity)
+		}
 	}
 	if s.cfg.OnRating != nil {
 		s.cfg.OnRating(rater, target, polarity)
@@ -387,11 +424,27 @@ func (s *state) record(rater, target, polarity int) {
 	s.ratings++
 }
 
+// flushRatings folds the cycle's buffered ratings through the sharded
+// ingester into the cumulative ledger (and the window's open period when
+// one is configured). A no-op on the legacy immediate-record path.
+func (s *state) flushRatings() error {
+	if s.ingester == nil || len(s.batch) == 0 {
+		return nil
+	}
+	dsts := []*reputation.Ledger{s.ledger}
+	if s.win != nil {
+		dsts = append(dsts, s.win.Current())
+	}
+	err := s.ingester.Ingest(s.batch, dsts...)
+	s.batch = s.batch[:0]
+	return err
+}
+
 // periodLedger returns the ledger detection and scoring operate on: the
 // sliding window when configured, otherwise the cumulative history.
 func (s *state) periodLedger() *reputation.Ledger {
-	if s.windowed != nil {
-		return s.windowed.Window()
+	if s.win != nil {
+		return s.win.Window()
 	}
 	return s.ledger
 }
@@ -498,10 +551,10 @@ func (s *state) runDetection() {
 // cycle, so it can replay memoized per-pair screens for targets whose
 // received ratings did not change since the previous cycle — the
 // detector's contract guarantees identical pairs, meter charges, and
-// audit events. The windowed path rebuilds a fresh merged ledger each
-// cycle, which would reset the memo anyway, so it stays on the full pass.
+// audit events. The windowed path stays on the full pass: it remains the
+// from-scratch reference the incremental contract is tested against.
 func (s *state) detectPairs(period *reputation.Ledger) core.Result {
-	if inc, ok := s.det.(core.IncrementalDetector); ok && s.windowed == nil {
+	if inc, ok := s.det.(core.IncrementalDetector); ok && s.win == nil {
 		dirty := period.DirtyTargets()
 		res := inc.DetectIncremental(period, dirty)
 		period.ClearDirty()
@@ -560,6 +613,9 @@ func (s *state) result() *Result {
 		RatingsRecorded:     s.ratings,
 		DetectionCycle:      append([]int(nil), s.detCycle...),
 		Ledger:              s.ledger,
+	}
+	if s.win != nil {
+		res.WindowDeltaRows = s.win.DeltaRows()
 	}
 	for _, e := range s.pairs {
 		res.DetectedPairs = append(res.DetectedPairs, e)
