@@ -11,8 +11,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific determinism & correctness analyzers (internal/lint).
-# See DESIGN.md "Static analysis" for the rule catalogue.
+# Project-specific determinism & correctness analyzers (internal/lint),
+# including the dataflow/call-graph rules: parreduce (index-ordered
+# parallel reduction), hotalloc (//colsim:hotpath allocation freedom) and
+# lockcheck (copied locks, mixed atomic access, pool retention). The ./...
+# pattern covers every package, ./cmd/... included. See DESIGN.md
+# "Static analysis" for the rule catalogue.
 lint:
 	$(GO) run ./cmd/colsimlint ./...
 
@@ -41,7 +45,7 @@ bench-save:
 
 # Gate the detection hot path against the checked-in baseline: fail on
 # any benchmark more than 20% slower (ns/op) or more than 20% hungrier
-# (bytes/op) than BENCH_detect.json.
+# (bytes/op or allocs/op) than BENCH_detect.json.
 bench-compare:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson > bench_new.json

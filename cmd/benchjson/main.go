@@ -20,9 +20,12 @@
 //	benchjson -compare BENCH_detect.json new.json
 //
 // It exits non-zero when any benchmark present in both files regressed by
-// more than 20% in ns/op or in bytes/op (the memory gate only applies when
-// the baseline recorded a nonzero bytes_per_op, so -benchmem-less
-// baselines stay comparable). Benchmarks present in only one file are
+// more than 20% in ns/op, in bytes/op, or in allocs/op (the memory and
+// allocation gates only apply when the baseline recorded a nonzero
+// bytes_per_op or allocs_per_op respectively, so -benchmem-less baselines
+// and genuinely allocation-free benchmarks stay comparable — colsimlint's
+// hotalloc analyzer guards the zero-alloc paths the ratio gate cannot
+// express). Benchmarks present in only one file are
 // reported but do not fail the comparison (baselines are refreshed with
 // `make bench-save` when benchmarks are added or removed).
 package main
@@ -49,7 +52,7 @@ type Bench struct {
 
 func main() {
 	compare := flag.Bool("compare", false,
-		"compare two benchmark JSON files (old new); exit non-zero on >20% ns/op or bytes/op regressions")
+		"compare two benchmark JSON files (old new); exit non-zero on >20% ns/op, bytes/op or allocs/op regressions")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
@@ -73,9 +76,9 @@ func main() {
 }
 
 // RegressionThreshold is the growth factor beyond which -compare fails —
-// applied to ns/op always, and to bytes/op when the baseline recorded a
-// nonzero value: 1.20 tolerates CI-runner noise while catching real
-// slowdowns and allocation regressions.
+// applied to ns/op always, and to bytes/op and allocs/op when the baseline
+// recorded a nonzero value: 1.20 tolerates CI-runner noise while catching
+// real slowdowns and allocation regressions.
 const RegressionThreshold = 1.20
 
 // runCompare loads two benchmark JSON files and reports per-benchmark
@@ -95,8 +98,10 @@ func runCompare(oldPath, newPath string, w io.Writer) (regressed bool, err error
 
 // Compare writes a delta report for every benchmark in either slice and
 // returns true when a benchmark present in both regressed by more than
-// RegressionThreshold in ns/op, or in bytes/op for benchmarks whose
-// baseline recorded a nonzero byte count.
+// RegressionThreshold in ns/op, or in bytes/op or allocs/op for benchmarks
+// whose baseline recorded a nonzero count (a zero baseline cannot express
+// 20% growth; new allocations on a previously allocation-free path are
+// hotalloc's job to catch at the source level).
 func Compare(oldB, newB []Bench, w io.Writer) bool {
 	oldByName := make(map[string]Bench, len(oldB))
 	for _, b := range oldB {
@@ -133,6 +138,17 @@ func Compare(oldB, newB []Bench, w io.Writer) bool {
 				regressed = true
 				fmt.Fprintf(w, "FAIL  %-40s %12d -> %12d B/op (%+.1f%%)\n",
 					nb.Name, ob.BytesPerOp, nb.BytesPerOp, 100*(bratio-1))
+			}
+		}
+		// Allocation gate: same shape as the memory gate. Counts are
+		// steadier than bytes across runners, so this catches per-op
+		// allocation creep even when sizes shrink enough to pass B/op.
+		if ob.AllocsPerOp > 0 {
+			aratio := float64(nb.AllocsPerOp) / float64(ob.AllocsPerOp)
+			if aratio > RegressionThreshold {
+				regressed = true
+				fmt.Fprintf(w, "FAIL  %-40s %12d -> %12d allocs/op (%+.1f%%)\n",
+					nb.Name, ob.AllocsPerOp, nb.AllocsPerOp, 100*(aratio-1))
 			}
 		}
 	}

@@ -126,6 +126,40 @@ func TestCompareBytesWithinThreshold(t *testing.T) {
 	}
 }
 
+// TestCompareFlagsAllocsRegression pins the allocation gate: a benchmark
+// whose ns/op and bytes/op held steady but whose allocs/op grew beyond the
+// threshold fails.
+func TestCompareFlagsAllocsRegression(t *testing.T) {
+	oldB := []Bench{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 10000, AllocsPerOp: 10}}
+	newB := []Bench{{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 10000, AllocsPerOp: 13}}
+	var out bytes.Buffer
+	if !Compare(oldB, newB, &out) {
+		t.Fatalf("30%% allocs/op growth not flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op") {
+		t.Fatalf("report missing allocs/op FAIL line:\n%s", out.String())
+	}
+}
+
+// TestCompareAllocsWithinThreshold pins that sub-threshold allocation
+// growth and zero-alloc baselines pass: a benchmark that was allocation-
+// free cannot express 20% growth, so new allocations there are hotalloc's
+// job, not the ratio gate's.
+func TestCompareAllocsWithinThreshold(t *testing.T) {
+	oldB := []Bench{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "BenchmarkZeroAlloc", NsPerOp: 500}, // zero baseline: gate off
+	}
+	newB := []Bench{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 11},
+		{Name: "BenchmarkZeroAlloc", NsPerOp: 500, AllocsPerOp: 7},
+	}
+	var out bytes.Buffer
+	if Compare(oldB, newB, &out) {
+		t.Fatalf("10%% alloc growth or zero-baseline change flagged:\n%s", out.String())
+	}
+}
+
 // TestCompareUnpairedBenchmarks pins that added/removed benchmarks are
 // reported but never fail the gate — only shared-name regressions do.
 func TestCompareUnpairedBenchmarks(t *testing.T) {

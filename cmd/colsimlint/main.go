@@ -5,22 +5,40 @@
 //
 // Usage:
 //
-//	colsimlint [-list] [pattern ...]
+//	colsimlint [-list] [-json] [pattern ...]
 //
 // A pattern ending in /... walks the directory tree (the default is
 // ./...); any other pattern names one package directory. Findings can be
 // suppressed with a //colsimlint:ignore <analyzer> <reason> comment on or
 // directly above the offending line; see DESIGN.md "Static analysis".
+//
+// With -json the findings are emitted as one JSON array of
+// {file, line, col, analyzer, message, suppressed} objects — including
+// suppressed findings, so CI artifacts record what is being waived. The
+// exit code still reflects only unsuppressed findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"github.com/p2psim/collusion/internal/lint"
 )
+
+// jsonFinding is the -json output record for one finding.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], ".", os.Stdout, os.Stderr))
@@ -32,8 +50,9 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("colsimlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzer catalogue and exit")
+	jsonOut := fs.Bool("json", false, "emit findings (including suppressed ones) as a JSON array")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: colsimlint [-list] [pattern ...]")
+		fmt.Fprintln(stderr, "usage: colsimlint [-list] [-json] [pattern ...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -60,13 +79,52 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	findings := lint.Run(analyzers, pkgs)
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	all := lint.RunAll(analyzers, pkgs)
+	active := 0
+	for _, f := range all {
+		if !f.Suppressed {
+			active++
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "colsimlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+	if *jsonOut {
+		recs := make([]jsonFinding, 0, len(all))
+		for _, f := range all {
+			recs = append(recs, jsonFinding{
+				File:       relFile(ldr.Root, f.Pos.Filename),
+				Line:       f.Pos.Line,
+				Col:        f.Pos.Column,
+				Analyzer:   f.Analyzer,
+				Message:    f.Message,
+				Suppressed: f.Suppressed,
+			})
+		}
+		out, err := json.MarshalIndent(recs, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s\n", out)
+	} else {
+		for _, f := range all {
+			if !f.Suppressed {
+				fmt.Fprintln(stdout, f)
+			}
+		}
+	}
+	if active > 0 {
+		fmt.Fprintf(stderr, "colsimlint: %d finding(s) in %d package(s)\n", active, len(pkgs))
 		return 1
 	}
 	return 0
+}
+
+// relFile renders a finding's file path relative to the module root (with
+// forward slashes) so -json artifacts are stable across checkouts; paths
+// outside the module are left absolute.
+func relFile(root, file string) string {
+	rel, err := filepath.Rel(root, file)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return file
+	}
+	return filepath.ToSlash(rel)
 }

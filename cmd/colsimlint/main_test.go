@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,7 +27,10 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, ".", &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
-	for _, name := range []string{"determinism", "errdrop", "floateq", "maporder", "printlint"} {
+	for _, name := range []string{
+		"determinism", "errdrop", "floateq", "hotalloc",
+		"lockcheck", "maporder", "parreduce", "printlint",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
 		}
@@ -67,6 +71,75 @@ func Use() {
 	}
 	if !strings.Contains(stdout.String(), "errdrop") || !strings.Contains(stdout.String(), "dirty.go:7") {
 		t.Fatalf("finding not reported with position:\n%s", stdout.String())
+	}
+}
+
+// TestJSONDirtyModule checks the -json record shape on a module with one
+// active and one suppressed finding: both appear, marked accordingly, the
+// file path is module-relative, and the exit code counts only the active
+// one.
+func TestJSONDirtyModule(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module example.com/dirty\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "dirty.go"), `package dirty
+
+func fail() error { return nil }
+
+// Use discards two errors, one with a waiver.
+func Use() {
+	fail()
+	fail() //colsimlint:ignore errdrop test fixture: intentional drop
+}
+`)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "./..."}, dir, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	var recs []struct {
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Col        int    `json:"col"`
+		Analyzer   string `json:"analyzer"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &recs); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (active + suppressed):\n%s", len(recs), stdout.String())
+	}
+	for _, r := range recs {
+		if r.File != "dirty.go" {
+			t.Errorf("file = %q, want module-relative %q", r.File, "dirty.go")
+		}
+		if r.Analyzer != "errdrop" || r.Line == 0 || r.Col == 0 || r.Message == "" {
+			t.Errorf("incomplete record: %+v", r)
+		}
+	}
+	if recs[0].Suppressed || !recs[1].Suppressed {
+		t.Errorf("suppression marks wrong: %+v", recs)
+	}
+}
+
+// TestJSONCleanRepo runs -json over the repository itself: the exit code
+// must stay 0 and the array must parse (it carries the suppressed-findings
+// audit trail for the CI artifact).
+func TestJSONCleanRepo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json"}, repoRoot(t), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("colsimlint -json ./... = exit %d\nstderr:\n%s", code, stderr.String())
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &recs); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v", err)
+	}
+	for _, r := range recs {
+		if sup, _ := r["suppressed"].(bool); !sup {
+			t.Errorf("clean repo emitted unsuppressed finding: %v", r)
+		}
 	}
 }
 

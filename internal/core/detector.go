@@ -63,7 +63,7 @@ func (r Result) HasPair(a, b int) bool {
 // the pair was new.
 func (r *Result) insertPair(e Evidence) bool {
 	if r.pairSet == nil {
-		r.pairSet = make(map[[2]int]struct{}, len(r.Pairs)+1)
+		r.pairSet = make(map[[2]int]struct{}, len(r.Pairs)+1) //colsimlint:ignore hotalloc lazy once per Result; incremental runs inherit the index from st.buf and clear it in place
 		for _, p := range r.Pairs {
 			r.pairSet[[2]int{p.I, p.J}] = struct{}{}
 		}
@@ -73,7 +73,7 @@ func (r *Result) insertPair(e Evidence) bool {
 		return false
 	}
 	r.pairSet[key] = struct{}{}
-	r.Pairs = append(r.Pairs, e)
+	r.Pairs = append(r.Pairs, e) //colsimlint:ignore hotalloc pair list grows to the high-water detection count; endRun hands the storage back for the next cycle
 	r.Flagged[e.I] = true
 	r.Flagged[e.J] = true
 	return true
@@ -155,6 +155,8 @@ type incrementalState struct {
 // ensureIncremental returns the detector's state, resetting it whenever
 // the ledger identity or population changed (a new run, a cloned ledger,
 // a windowed merge) so stale screens can never leak across ledgers.
+//
+//colsim:coldpath allocates a fresh state only when the ledger identity or population changes; steady-state calls return the cached pointer
 func ensureIncremental(slot **incrementalState, l *reputation.Ledger) *incrementalState {
 	st := *slot
 	if st == nil || st.ledger != l || st.n != l.Size() {
@@ -184,16 +186,17 @@ func (st *incrementalState) advanceGenerations(dirty []int) {
 // the scratch buffers.
 func beginRun(st *incrementalState, n int, candidates []int) (res Result, highList []int, high []bool) {
 	if st == nil {
+		//colsimlint:ignore hotalloc the pure Detect/DetectAmong contract returns caller-owned fresh storage; the incremental path below reuses st.buf
 		high = make([]bool, n)
-		highList = make([]int, 0, len(candidates))
-		res = Result{Flagged: make([]bool, n)}
+		highList = make([]int, 0, len(candidates)) //colsimlint:ignore hotalloc fresh storage for the pure contract, as above
+		res = Result{Flagged: make([]bool, n)}     //colsimlint:ignore hotalloc fresh storage for the pure contract, as above
 	} else {
 		st.buf.high = resizeBools(st.buf.high, n)
 		clear(st.buf.high)
 		st.buf.flagged = resizeBools(st.buf.flagged, n)
 		clear(st.buf.flagged)
 		if st.buf.pairSet == nil {
-			st.buf.pairSet = make(map[[2]int]struct{})
+			st.buf.pairSet = make(map[[2]int]struct{}) //colsimlint:ignore hotalloc lazy once per incremental state; every later cycle clears it in place
 		} else {
 			clear(st.buf.pairSet)
 		}
@@ -226,14 +229,14 @@ func endRun(st *incrementalState, res *Result) {
 
 func resizeBools(xs []bool, n int) []bool {
 	if cap(xs) < n {
-		return make([]bool, n)
+		return make([]bool, n) //colsimlint:ignore hotalloc grows only when the population grows; steady-state cycles reslice the retained capacity
 	}
 	return xs[:n]
 }
 
 func resizeInts(xs []int, n int) []int {
 	if cap(xs) < n {
-		return make([]int, n)
+		return make([]int, n) //colsimlint:ignore hotalloc grows only when the population grows; steady-state cycles reslice the retained capacity
 	}
 	return xs[:n]
 }
@@ -275,6 +278,8 @@ func (b *Basic) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 }
 
 // DetectIncremental implements IncrementalDetector.
+//
+//colsim:hotpath
 func (b *Basic) DetectIncremental(l *reputation.Ledger, dirty []int) Result {
 	st := ensureIncremental(&b.inc, l)
 	st.advanceGenerations(dirty)
@@ -307,6 +312,8 @@ func (b *Basic) DetectIncremental(l *reputation.Ledger, dirty []int) Result {
 // Evidence because it reads only the two unchanged rows. When tracing is
 // enabled the cache is bypassed (read and write) so every high pair is
 // re-examined and audited in the exact order of a full pass.
+//
+//colsim:hotpath
 func (b *Basic) detectAmong(l *reputation.Ledger, candidates []int, st *incrementalState) Result {
 	n := l.Size()
 	res, highList, high := beginRun(st, n, candidates)
@@ -374,8 +381,7 @@ func (b *Basic) detectAmong(l *reputation.Ledger, candidates []int, st *incremen
 		b.charge(metrics.CostMatrixScan, int64(highAfter-examined)*int64(n))
 	}
 
-	associationSweep(l, b.Thresholds, &res,
-		func(n int64) { b.charge(metrics.CostPairCheck, n) }, b.Trace, b.Name(), st)
+	associationSweep(l, b.Thresholds, &res, b.Meter, metrics.CostPairCheck, b.Trace, b.Name(), st)
 	res.sortPairs()
 	endRun(st, &res)
 	return res
@@ -498,6 +504,8 @@ func (o *Optimized) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 }
 
 // DetectIncremental implements IncrementalDetector.
+//
+//colsim:hotpath
 func (o *Optimized) DetectIncremental(l *reputation.Ledger, dirty []int) Result {
 	st := ensureIncremental(&o.inc, l)
 	st.advanceGenerations(dirty)
@@ -512,6 +520,8 @@ func (o *Optimized) DetectIncremental(l *reputation.Ledger, dirty []int) Result 
 // once, in ascending row order. Pairs failing the frequency gate charge
 // nothing, so the fast path walks only i's adjacency; memoization and the
 // tracing bypass follow the same rules as Basic.
+//
+//colsim:hotpath
 func (o *Optimized) detectAmong(l *reputation.Ledger, candidates []int, st *incrementalState) Result {
 	n := l.Size()
 	res, highList, high := beginRun(st, n, candidates)
@@ -581,8 +591,7 @@ func (o *Optimized) detectAmong(l *reputation.Ledger, candidates []int, st *incr
 		}
 	}
 
-	associationSweep(l, o.Thresholds, &res,
-		func(n int64) { o.charge(metrics.CostPairCheck, n) }, o.Trace, o.Name(), st)
+	associationSweep(l, o.Thresholds, &res, o.Meter, metrics.CostPairCheck, o.Trace, o.Name(), st)
 	res.sortPairs()
 	endRun(st, &res)
 	return res
@@ -601,6 +610,8 @@ func (o *Optimized) screenReverse(l *reputation.Ledger, i, j int, ri float64, ni
 
 // auditPair emits one pair_audit event with the Formula (2) intervals
 // both sides were (or would have been) checked against.
+//
+//colsim:coldpath reached only from the tracing branch, which disabled tracing never enters
 func (o *Optimized) auditPair(l *reputation.Ledger, i, j int, gate string) {
 	a := pairAuditFor(l, o.Name(), i, j, gate)
 	a.LoI, a.HiI = o.Thresholds.ReputationBounds(a.NI, a.NIJ)
@@ -677,7 +688,7 @@ func (o *Optimized) charge(name string, n int64) {
 // dirty row can extend chains through unchanged ones — but its inputs at
 // equal flag sets are identical, which keeps the incremental path's
 // charges and audits byte-identical to a full pass.
-func associationSweep(l *reputation.Ledger, th Thresholds, res *Result, charge func(int64), tr *obs.Tracer, det string, st *incrementalState) {
+func associationSweep(l *reputation.Ledger, th Thresholds, res *Result, meter *metrics.CostMeter, cost string, tr *obs.Tracer, det string, st *incrementalState) {
 	if th.StrictReverse {
 		return
 	}
@@ -694,8 +705,9 @@ func associationSweep(l *reputation.Ledger, th Thresholds, res *Result, charge f
 		clear(st.buf.pairCount)
 		pairCount = st.buf.pairCount
 	} else {
+		//colsimlint:ignore hotalloc fresh scratch for the pure Detect/DetectAmong contract; the incremental branch above reuses st.buf
 		inQueue = make([]bool, n)
-		pairCount = make([]int, n)
+		pairCount = make([]int, n) //colsimlint:ignore hotalloc fresh scratch for the pure contract, as above
 	}
 	for i, f := range res.Flagged {
 		if f {
@@ -709,7 +721,9 @@ func associationSweep(l *reputation.Ledger, th Thresholds, res *Result, charge f
 	}
 	for head := 0; head < len(queue); head++ {
 		c := queue[head]
-		charge(int64(n - 1 - pairCount[c]))
+		if meter != nil {
+			meter.Add(cost, int64(n-1-pairCount[c]))
+		}
 		pc := l.PairCountsOf(c)
 		for k, x32 := range pc.Raters {
 			x := int(x32)
@@ -775,6 +789,8 @@ func pairAuditFor(l *reputation.Ledger, det string, i, j int, gate string) obs.P
 // auditCandidates emits one candidate_audit event per node recording the
 // T_R screen that selects high-reputed detection candidates, so the trace
 // also explains pairs that never reached pair examination.
+//
+//colsim:coldpath returns immediately unless tracing is enabled; audited runs trade allocation freedom for the decision record
 func auditCandidates(t *obs.Tracer, det string, l *reputation.Ledger, tr float64) {
 	if !t.Enabled() {
 		return
@@ -814,7 +830,7 @@ func summationCandidates(l *reputation.Ledger, tr float64) []int {
 func appendSummationCandidates(out []int, l *reputation.Ledger, tr float64) []int {
 	for i := 0; i < l.Size(); i++ {
 		if float64(l.SummationScore(i)) >= tr {
-			out = append(out, i)
+			out = append(out, i) //colsimlint:ignore hotalloc grows to the high-water candidate count; incremental callers pass the retained buffer resliced to zero
 		}
 	}
 	return out

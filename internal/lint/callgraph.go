@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// Hot-path annotation directives. They live in a function's doc comment:
+//
+//	//colsim:hotpath
+//	func (l *Ledger) Record(...)            // must be allocation-free,
+//	                                        // together with everything it calls
+//
+//	//colsim:coldpath lazy one-time registration
+//	func (m *CostMeter) counter(...)        // traversal stops here; a reason
+//	                                        // after the directive is mandatory
+const (
+	hotpathDirective  = "//colsim:hotpath"
+	coldpathDirective = "//colsim:coldpath"
+)
+
+// funcFacts caches, per package, the function-declaration index and the
+// hot/cold-path annotations the call-graph analyzers need. The hotalloc
+// traversal crosses package boundaries, so facts are memoized process-wide
+// rather than per Pass.
+type funcFacts struct {
+	pkg *Package
+	// decls maps each function object to its declaration.
+	decls map[*types.Func]*ast.FuncDecl
+	// order lists the declared functions in source order, for
+	// deterministic iteration.
+	order []*types.Func
+	// hot marks //colsim:hotpath functions, cold marks //colsim:coldpath.
+	hot  map[*types.Func]bool
+	cold map[*types.Func]bool
+	// coldNoReason records coldpath directives with no reason text; the
+	// hotalloc analyzer reports them when it runs on the package.
+	coldNoReason []token.Pos
+	// sup indexes the package's //colsimlint:ignore directives so the
+	// cross-package traversal can honor suppressions local to a callee's
+	// own package.
+	sup *suppressions
+}
+
+var (
+	factsMu    sync.Mutex
+	factsCache = map[*Package]*funcFacts{}
+)
+
+// factsFor returns (building and memoizing on first use) the call-graph
+// facts for pkg.
+func factsFor(pkg *Package) *funcFacts {
+	factsMu.Lock()
+	defer factsMu.Unlock()
+	if f, ok := factsCache[pkg]; ok {
+		return f
+	}
+	f := &funcFacts{
+		pkg:   pkg,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		hot:   make(map[*types.Func]bool),
+		cold:  make(map[*types.Func]bool),
+		sup:   newSuppressions(pkg),
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			f.decls[obj] = fd
+			f.order = append(f.order, obj)
+			if fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				switch {
+				case c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" "):
+					f.hot[obj] = true
+				case strings.HasPrefix(c.Text, coldpathDirective):
+					f.cold[obj] = true
+					reason := strings.TrimPrefix(c.Text, coldpathDirective)
+					if strings.TrimSpace(reason) == "" {
+						// Reported at the declaration so suppression and
+						// fixture expectations anchor to the func line.
+						f.coldNoReason = append(f.coldNoReason, fd.Pos())
+					}
+				}
+			}
+		}
+	}
+	factsCache[pkg] = f
+	return f
+}
+
+// calleeOf resolves a call expression to the static function or method it
+// invokes. It returns nil for calls through function values, built-ins,
+// and type conversions; interface method calls resolve to the interface
+// method object (the caller widens those to concrete implementations).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.F).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface (so a
+// call through it dispatches dynamically).
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, ok = sig.Recv().Type().Underlying().(*types.Interface)
+	return ok
+}
+
+// widenInterfaceCall returns the concrete module-local methods a call to
+// the interface method fn could dispatch to, found by scanning every
+// package the loader has analyzed for named types whose method sets
+// implement the interface. Results are deduplicated and returned in
+// deterministic (position) order.
+func widenInterfaceCall(pkg *Package, fn *types.Func) []*types.Func {
+	sig := fn.Type().(*types.Signature)
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	seen := make(map[*types.Func]bool)
+	var out []*types.Func
+	pkgs := append(pkg.LoadedPackages(), pkg)
+	for _, p := range pkgs {
+		if p.Types == nil {
+			continue
+		}
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			for _, t := range []types.Type{named, types.NewPointer(named)} {
+				if !types.Implements(t, iface) {
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(t, true, p.Types, fn.Name())
+				if m, ok := obj.(*types.Func); ok && !seen[m] {
+					seen[m] = true
+					out = append(out, m)
+				}
+				break
+			}
+		}
+	}
+	sortFuncsByPos(out)
+	return out
+}
+
+// sortFuncsByPos orders functions by declaration position for
+// deterministic traversal.
+func sortFuncsByPos(fns []*types.Func) {
+	for i := 1; i < len(fns); i++ {
+		for j := i; j > 0 && fns[j].Pos() < fns[j-1].Pos(); j-- {
+			fns[j], fns[j-1] = fns[j-1], fns[j]
+		}
+	}
+}
+
+// packageFor maps a module-local function object to its analyzed Package,
+// resolving through the loader cache; nil for the standard library and
+// functions without bodies.
+func packageFor(pkg *Package, fn *types.Func) *Package {
+	fp := fn.Pkg()
+	if fp == nil {
+		return nil
+	}
+	if fp.Path() == pkg.Path {
+		return pkg
+	}
+	return pkg.Imported(fp.Path())
+}

@@ -1,0 +1,476 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAllocAnalyzer enforces the repository's zero-allocation contract on
+// annotated hot paths. A function whose doc comment carries
+// //colsim:hotpath must be allocation-free, together with everything it
+// calls through the module-local call graph (interface calls are widened
+// to every module-local concrete implementation). Traversal stops at
+// //colsim:coldpath functions (reason required) and at callees that carry
+// their own //colsim:hotpath contract (they are checked as roots in their
+// own package's pass).
+//
+// Flagged allocation sites: make/new, map and slice literals, address-of
+// struct literals, append that may grow (append into a make-with-capacity
+// local or a resliced buffer is exempt), variable-capturing closures,
+// fmt/errors and other allocating stdlib calls, string concatenation and
+// string<->[]byte conversions, interface boxing at call arguments, and
+// calls through function values (unverifiable). Arguments of panic(...)
+// are exempt: a panicking hot path is already off the fast path.
+//
+// Cross-package findings are reported at the boundary call site in the
+// package under analysis, so the suppression lives next to the call;
+// suppressions and annotations inside the callee's own package are
+// honored during traversal.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid heap allocation in //colsim:hotpath functions and their callees",
+	Run:  runHotAlloc,
+}
+
+// allocPkgAll lists stdlib packages whose every call is treated as
+// allocating on a hot path.
+var allocPkgAll = map[string]bool{
+	"fmt":    true,
+	"errors": true,
+}
+
+// allocFuncs lists specific allocating stdlib functions. Append-style
+// strconv functions and sort.Search* are deliberately absent: they write
+// into caller-provided storage.
+var allocFuncs = map[string]map[string]bool{
+	"strconv": {
+		"Itoa": true, "FormatInt": true, "FormatUint": true,
+		"FormatFloat": true, "FormatBool": true, "Quote": true, "Unquote": true,
+	},
+	"sort": {
+		"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"strings": {
+		"Repeat": true, "Join": true, "Split": true, "SplitN": true,
+		"Fields": true, "Replace": true, "ReplaceAll": true,
+		"ToUpper": true, "ToLower": true, "Clone": true, "NewReplacer": true,
+	},
+	"bytes": {
+		"Repeat": true, "Join": true, "Split": true, "SplitN": true,
+		"Fields": true, "Clone": true, "NewBuffer": true, "NewBufferString": true,
+	},
+}
+
+// hotProblem is one allocation found during cross-package traversal,
+// summarized at the boundary call site.
+type hotProblem struct {
+	pos token.Position
+	msg string
+}
+
+type hotWalker struct {
+	pass *Pass
+	// visitedLocal guards same-package recursion; reports are emitted
+	// directly, so revisiting would duplicate them.
+	visitedLocal map[*types.Func]bool
+	// subtree memoizes the first unsuppressed allocation found beneath a
+	// module-local function outside the package under analysis (nil when
+	// the subtree is clean).
+	subtree map[*types.Func]*hotProblem
+}
+
+func runHotAlloc(p *Pass) {
+	facts := factsFor(p.Pkg)
+	for _, pos := range facts.coldNoReason {
+		p.Reportf(pos, "//colsim:coldpath directive requires a reason")
+	}
+	w := &hotWalker{
+		pass:         p,
+		visitedLocal: make(map[*types.Func]bool),
+		subtree:      make(map[*types.Func]*hotProblem),
+	}
+	for _, fn := range facts.order {
+		if facts.hot[fn] {
+			w.walkLocal(fn)
+		}
+	}
+}
+
+// walkLocal examines a function in the package under analysis, reporting
+// findings at their exact positions (framework suppression applies).
+func (w *hotWalker) walkLocal(fn *types.Func) {
+	if w.visitedLocal[fn] {
+		return
+	}
+	w.visitedLocal[fn] = true
+	decl := factsFor(w.pass.Pkg).decls[fn]
+	if decl == nil || decl.Body == nil {
+		return
+	}
+	w.examine(w.pass.Pkg, decl, true, func(pos token.Pos, format string, args ...any) {
+		w.pass.Reportf(pos, format, args...)
+	})
+}
+
+// subtreeProblem returns the first unsuppressed allocation reachable
+// through fn (a module-local function outside the package under
+// analysis), or nil when its subtree is allocation-free. Results are
+// memoized; a cycle in progress counts as clean.
+func (w *hotWalker) subtreeProblem(fn *types.Func) *hotProblem {
+	if p, ok := w.subtree[fn]; ok {
+		return p
+	}
+	w.subtree[fn] = nil
+	pkg := packageFor(w.pass.Pkg, fn)
+	if pkg == nil {
+		return nil
+	}
+	facts := factsFor(pkg)
+	decl := facts.decls[fn]
+	if decl == nil || decl.Body == nil {
+		return nil
+	}
+	var found *hotProblem
+	w.examine(pkg, decl, false, func(pos token.Pos, format string, args ...any) {
+		if found != nil {
+			return
+		}
+		position := pkg.Fset.Position(pos)
+		if facts.sup.suppressed(w.pass.Analyzer.Name, position) {
+			return
+		}
+		found = &hotProblem{pos: position, msg: fmt.Sprintf(format, args...)}
+	})
+	w.subtree[fn] = found
+	return found
+}
+
+// reportFn receives findings from examine.
+type reportFn func(pos token.Pos, format string, args ...any)
+
+// examine walks one function body flagging allocation sites and
+// dispatching on calls. local is true when pkg is the package under
+// analysis (same-package callees recurse with direct reporting).
+func (w *hotWalker) examine(pkg *Package, decl *ast.FuncDecl, local bool, report reportFn) {
+	info := pkg.Info
+	reuse := reuseSafeSlices(info, decl)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capt := capturedLocal(info, n); capt != "" {
+				report(n.Pos(), "hot path: closure capturing %s allocates", capt)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					if _, isStruct := info.Types[cl].Type.Underlying().(*types.Struct); isStruct {
+						report(n.Pos(), "hot path: address-of composite literal allocates")
+						return false
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "hot path: map literal allocates")
+			case *types.Slice:
+				report(n.Pos(), "hot path: slice literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				tv := info.Types[n]
+				if tv.Value == nil && isStringType(tv.Type) {
+					report(n.Pos(), "hot path: string concatenation allocates")
+				}
+			}
+		case *ast.CallExpr:
+			w.examineCall(pkg, n, local, reuse, report)
+			// Child expressions (arguments) are still inspected for
+			// literals, concatenation and nested calls.
+			if isPanicCall(info, n) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// examineCall classifies one call on a hot path.
+func (w *hotWalker) examineCall(pkg *Package, call *ast.CallExpr, local bool, reuse map[*types.Var]bool, report reportFn) {
+	info := pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Type conversion.
+		if convAllocates(info, call) {
+			report(call.Pos(), "hot path: %s conversion allocates", types.ExprString(call.Fun))
+		}
+		return
+	}
+	if obj := builtinOf(info, call); obj != nil {
+		switch obj.Name() {
+		case "make":
+			report(call.Pos(), "hot path: make allocates")
+		case "new":
+			report(call.Pos(), "hot path: new allocates")
+		case "append":
+			if !appendIsReuseSafe(info, call, reuse) {
+				report(call.Pos(), "hot path: append may grow its backing array; preallocate with make(_, _, cap) or reslice a reused buffer")
+			}
+		}
+		return
+	}
+	callee := calleeOf(info, call)
+	if callee == nil {
+		report(call.Pos(), "hot path: call through function value %s cannot be verified allocation-free", types.ExprString(call.Fun))
+		return
+	}
+	cp := callee.Pkg()
+	if cp == nil {
+		return
+	}
+	if cp.Path() != pkg.Module && !strings.HasPrefix(cp.Path(), pkg.Module+"/") {
+		// Standard library: deny-listed calls allocate (reported once,
+		// without a separate boxing finding), the rest are assumed clean
+		// (math, sync/atomic, len-style accessors).
+		if allocPkgAll[cp.Path()] || allocFuncs[cp.Path()][callee.Name()] {
+			report(call.Pos(), "hot path: call to %s.%s allocates", cp.Name(), callee.Name())
+			return
+		}
+		w.checkBoxing(pkg, call, callee, report)
+		return
+	}
+	w.checkBoxing(pkg, call, callee, report)
+	if isInterfaceMethod(callee) {
+		for _, impl := range widenInterfaceCall(pkg, callee) {
+			w.checkCallee(pkg, call, impl, local, report, true)
+		}
+		return
+	}
+	w.checkCallee(pkg, call, callee, local, report, false)
+}
+
+// checkCallee continues traversal into a module-local callee.
+func (w *hotWalker) checkCallee(pkg *Package, call *ast.CallExpr, callee *types.Func, local bool, report reportFn, viaInterface bool) {
+	cpkg := packageFor(w.pass.Pkg, callee)
+	if cpkg == nil {
+		return
+	}
+	facts := factsFor(cpkg)
+	if facts.cold[callee] {
+		return
+	}
+	if facts.hot[callee] {
+		// The callee carries its own hot-path contract and is verified as
+		// a root in its own package's pass.
+		return
+	}
+	if local && cpkg == w.pass.Pkg {
+		w.walkLocal(callee)
+		return
+	}
+	if p := w.subtreeProblem(callee); p != nil {
+		via := ""
+		if viaInterface {
+			via = " (possible interface dispatch)"
+		}
+		report(call.Pos(), "hot path: call to %s allocates%s: %s at %s", funcDisplayName(callee), via, p.msg, p.pos)
+	}
+}
+
+// checkBoxing flags concrete non-pointer values passed to interface-typed
+// parameters, which box (allocate) at the call.
+func (w *hotWalker) checkBoxing(pkg *Package, call *ast.CallExpr, callee *types.Func, report reportFn) {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		} else {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		tv := pkg.Info.Types[arg]
+		if tv.Value != nil || tv.IsNil() {
+			continue
+		}
+		if boxingAllocates(tv.Type) {
+			report(arg.Pos(), "hot path: passing %s to interface parameter boxes (allocates)", tv.Type)
+		}
+	}
+}
+
+// boxingAllocates reports whether storing a value of concrete type t in an
+// interface requires a heap allocation (pointer-shaped values do not).
+func boxingAllocates(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer
+	default:
+		return true
+	}
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// convAllocates reports whether a type conversion call allocates:
+// string <-> []byte / []rune in either direction.
+func convAllocates(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	dst := info.Types[call.Fun].Type
+	src := info.Types[call.Args[0]].Type
+	if src == nil || dst == nil {
+		return false
+	}
+	_, dstSlice := dst.Underlying().(*types.Slice)
+	_, srcSlice := src.Underlying().(*types.Slice)
+	if isStringType(dst) && srcSlice {
+		return true
+	}
+	if dstSlice && isStringType(src) {
+		return true
+	}
+	return false
+}
+
+// builtinOf returns the builtin object a call invokes, or nil.
+func builtinOf(info *types.Info, call *ast.CallExpr) *types.Builtin {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	b, _ := info.Uses[id].(*types.Builtin)
+	return b
+}
+
+// isPanicCall reports whether call is panic(...); its arguments are exempt
+// from allocation rules (a panicking hot path is already cold).
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	b := builtinOf(info, call)
+	return b != nil && b.Name() == "panic"
+}
+
+// reuseSafeSlices returns the function-local slice variables whose appends
+// are amortized-free: initialized from make with an explicit capacity or
+// from a reslice of an existing buffer.
+func reuseSafeSlices(info *types.Info, decl *ast.FuncDecl) map[*types.Var]bool {
+	safe := make(map[*types.Var]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj, _ := info.Defs[id].(*types.Var)
+			if obj == nil {
+				obj, _ = info.Uses[id].(*types.Var)
+			}
+			if obj == nil {
+				continue
+			}
+			switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.SliceExpr:
+				safe[obj] = true
+			case *ast.CallExpr:
+				if b := builtinOf(info, rhs); b != nil && b.Name() == "make" && len(rhs.Args) == 3 {
+					safe[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return safe
+}
+
+// appendIsReuseSafe reports whether an append call targets a reslice or a
+// make-with-capacity local, the two amortized-allocation-free idioms.
+func appendIsReuseSafe(info *types.Info, call *ast.CallExpr, reuse map[*types.Var]bool) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	switch dst := ast.Unparen(call.Args[0]).(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.Ident:
+		if v, ok := info.Uses[dst].(*types.Var); ok && reuse[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// capturedLocal returns the name of a function-local variable the closure
+// captures from its enclosing function ("" when it captures none).
+// Capturing a local forces a closure context allocation; references to
+// package-level variables do not.
+func capturedLocal(info *types.Info, lit *ast.FuncLit) string {
+	var name string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the literal (params, locals)
+		}
+		if v.Parent() == nil || v.Parent().Parent() == types.Universe {
+			return true // package-level
+		}
+		name = v.Name()
+		return false
+	})
+	return name
+}
+
+// funcDisplayName renders a function as pkg.Name or pkg.(Recv).Name for
+// findings.
+func funcDisplayName(fn *types.Func) string {
+	pkgName := ""
+	if fn.Pkg() != nil {
+		pkgName = fn.Pkg().Name() + "."
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			return pkgName + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkgName + fn.Name()
+}

@@ -34,6 +34,10 @@ type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Suppressed marks a finding matched by a //colsimlint:ignore
+	// directive. Run drops suppressed findings; RunAll keeps them so
+	// machine consumers (colsimlint -json) can audit what is being waived.
+	Suppressed bool
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -93,7 +97,10 @@ func Analyzers() []*Analyzer {
 		DeterminismAnalyzer,
 		ErrDropAnalyzer,
 		FloatEqAnalyzer,
+		HotAllocAnalyzer,
+		LockCheckAnalyzer,
 		MapOrderAnalyzer,
+		ParReduceAnalyzer,
 		PrintAnalyzer,
 	}
 }
@@ -101,6 +108,19 @@ func Analyzers() []*Analyzer {
 // Run executes the given analyzers over the packages and returns the
 // surviving (non-suppressed) findings sorted by position.
 func Run(analyzers []*Analyzer, pkgs []*Package) []Finding {
+	var out []Finding
+	for _, f := range RunAll(analyzers, pkgs) {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RunAll executes the given analyzers over the packages and returns every
+// finding sorted by position, with suppressed findings retained and marked
+// rather than dropped.
+func RunAll(analyzers []*Analyzer, pkgs []*Package) []Finding {
 	var out []Finding
 	for _, pkg := range pkgs {
 		sup := newSuppressions(pkg)
@@ -112,9 +132,8 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Finding {
 				Pkg:      pkg,
 			}
 			pass.report = func(f Finding) {
-				if !sup.suppressed(a.Name, f.Pos) {
-					out = append(out, f)
-				}
+				f.Suppressed = sup.suppressed(a.Name, f.Pos)
+				out = append(out, f)
 			}
 			a.Run(pass)
 		}

@@ -203,11 +203,79 @@ func TestFloatEqExemptInCommands(t *testing.T) {
 	}
 }
 
+// TestParReduceFixture checks the ordered-reduction rules on a dirty
+// fixture placed in a seeded tree.
+func TestParReduceFixture(t *testing.T) {
+	pkg := loadFixture(t, "parreduce", "internal/core/lintfixture-parreduce")
+	checkFixture(t, lint.ParReduceAnalyzer, pkg)
+}
+
+// TestParReduceUnrestrictedTreeSilent proves parreduce is scoped to the
+// seeded trees: the same dirty fixture under cmd/ yields no findings.
+func TestParReduceUnrestrictedTreeSilent(t *testing.T) {
+	pkg := loadFixture(t, "parreduce", "cmd/lintfixture-parreduce")
+	findings := lint.Run([]*lint.Analyzer{lint.ParReduceAnalyzer}, []*lint.Package{pkg})
+	if len(findings) != 0 {
+		t.Fatalf("parreduce fired outside restricted trees: %v", findings)
+	}
+}
+
+// TestHotAllocFixture checks the allocation rules, the same-package call
+// graph, coldpath carve-outs and suppression on one fixture. The fixture
+// also contains a //colsimlint:ignore'd make that must stay silent.
+func TestHotAllocFixture(t *testing.T) {
+	pkg := loadFixture(t, "hotalloc", "internal/lintfixture/hotalloc")
+	checkFixture(t, lint.HotAllocAnalyzer, pkg)
+}
+
+// TestHotAllocCrossPackage checks call-graph propagation into a
+// dependency imported by its real module path: boundary call sites are
+// flagged, interface calls widen to concrete implementations, and the
+// dependency's own coldpath annotations and suppressions are honored.
+func TestHotAllocCrossPackage(t *testing.T) {
+	pkg := loadFixture(t, "hotallocdep", "internal/lintfixture/hotallocdep")
+	checkFixture(t, lint.HotAllocAnalyzer, pkg)
+}
+
+// TestLockCheckFixture checks copied locks, mixed atomic/plain access and
+// pool retention.
+func TestLockCheckFixture(t *testing.T) {
+	pkg := loadFixture(t, "lockcheck", "internal/lintfixture/lockcheck")
+	checkFixture(t, lint.LockCheckAnalyzer, pkg)
+}
+
+// TestRunAllKeepsSuppressed proves RunAll retains suppressed findings
+// (marked) while Run drops them: the hotalloc fixture's ignored make
+// appears only in RunAll output.
+func TestRunAllKeepsSuppressed(t *testing.T) {
+	pkg := loadFixture(t, "hotalloc", "internal/lintfixture/hotalloc")
+	as := []*lint.Analyzer{lint.HotAllocAnalyzer}
+	all := lint.RunAll(as, []*lint.Package{pkg})
+	run := lint.Run(as, []*lint.Package{pkg})
+	var suppressed int
+	for _, f := range all {
+		if f.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed == 0 {
+		t.Fatal("RunAll reported no suppressed findings; the fixture has one")
+	}
+	if len(all) != len(run)+suppressed {
+		t.Fatalf("RunAll %d findings, Run %d + %d suppressed: totals disagree", len(all), len(run), suppressed)
+	}
+	for _, f := range run {
+		if f.Suppressed {
+			t.Fatalf("Run leaked a suppressed finding: %s", f)
+		}
+	}
+}
+
 // TestAnalyzersCatalogue pins the rule catalogue: names are unique,
 // documented, and stable in order.
 func TestAnalyzersCatalogue(t *testing.T) {
 	got := lint.Analyzers()
-	wantNames := []string{"determinism", "errdrop", "floateq", "maporder", "printlint"}
+	wantNames := []string{"determinism", "errdrop", "floateq", "hotalloc", "lockcheck", "maporder", "parreduce", "printlint"}
 	if len(got) != len(wantNames) {
 		t.Fatalf("catalogue has %d analyzers, want %d", len(got), len(wantNames))
 	}

@@ -30,6 +30,36 @@ type Package struct {
 	Types *types.Package
 	// Info carries the type-checker's expression and identifier facts.
 	Info *types.Info
+
+	// loader is the Loader that produced this package, for resolving
+	// module-internal imports to their own analyzed Packages (the hotalloc
+	// call graph crosses package boundaries through it).
+	loader *Loader
+}
+
+// Imported returns the module-internal package with the given import path
+// if this package's loader has analyzed it (it has, for anything this
+// package imports), or nil.
+func (p *Package) Imported(path string) *Package {
+	if p.loader == nil {
+		return nil
+	}
+	return p.loader.cache[path]
+}
+
+// LoadedPackages returns every module-internal package the loader has
+// analyzed so far, sorted by import path so interface-dispatch widening
+// scans them in a deterministic order.
+func (p *Package) LoadedPackages() []*Package {
+	if p.loader == nil {
+		return nil
+	}
+	out := make([]*Package, 0, len(p.loader.cache))
+	for _, pkg := range p.loader.cache {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // RelPath returns the package path relative to its module root ("" for the
@@ -255,6 +285,7 @@ func (l *Loader) LoadDir(dir, pathOverride string) (*Package, error) {
 		Files:  files,
 		Types:  tpkg,
 		Info:   info,
+		loader: l,
 	}
 	l.cache[path] = pkg
 	return pkg, nil

@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheckAnalyzer flags three classes of synchronization misuse that
+// survive the race detector when the racy schedule never fires in tests:
+//
+//   - lock-by-value: parameters, receivers and assignments that copy a
+//     value containing a sync.Mutex/RWMutex/WaitGroup/Once/Cond/Pool/Map,
+//     splitting its internal state (fresh composite-literal initialization
+//     is exempt);
+//   - mixed access: a field or package variable manipulated through the
+//     sync/atomic function API in one place and with plain loads/stores in
+//     another — the plain accesses race with the atomic ones;
+//   - pool retention: a value passed to sync.Pool.Put and used afterwards
+//     in the same function, when another goroutine may already own it.
+var LockCheckAnalyzer = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "flag copied locks, mixed atomic/plain access, and sync.Pool values retained past Put",
+	Run:  runLockCheck,
+}
+
+func runLockCheck(p *Pass) {
+	for _, file := range p.Files {
+		checkLockCopies(p, file)
+		checkPoolRetention(p, file)
+	}
+	checkMixedAtomic(p)
+}
+
+// lockTypes are the sync types whose values must never be copied once
+// used.
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+// containsLock reports whether t (passed or assigned by value) embeds
+// synchronization state that copying would split.
+func containsLock(t types.Type) bool {
+	return containsLockRec(t, make(map[types.Type]bool))
+}
+
+func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				if lockTypes[obj.Name()] {
+					return true
+				}
+			case "sync/atomic":
+				// atomic.Int64 and friends embed noCopy state.
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// checkLockCopies flags by-value parameters, receivers, results, range
+// values and assignments of lock-containing types.
+func checkLockCopies(p *Pass, file *ast.File) {
+	info := p.Pkg.Info
+	flagField := func(f *ast.Field, what string) {
+		if f.Type == nil {
+			return
+		}
+		t := info.Types[f.Type].Type
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			return
+		}
+		if containsLock(t) {
+			p.Reportf(f.Pos(), "%s passes lock-containing type %s by value; use a pointer", what, t)
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Recv != nil {
+				for _, f := range n.Recv.List {
+					flagField(f, "method receiver")
+				}
+			}
+			if n.Type.Params != nil {
+				for _, f := range n.Type.Params.List {
+					flagField(f, "parameter")
+				}
+			}
+		case *ast.FuncLit:
+			if n.Type.Params != nil {
+				for _, f := range n.Type.Params.List {
+					flagField(f, "parameter")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !copiesExistingValue(rhs) {
+					continue
+				}
+				t := info.Types[rhs].Type
+				if t == nil {
+					continue
+				}
+				if _, isPtr := t.(*types.Pointer); isPtr {
+					continue
+				}
+				if containsLock(t) {
+					p.Reportf(n.Lhs[i].Pos(), "assignment copies lock-containing value of type %s", t)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value == nil {
+				return true
+			}
+			// A defining range value is recorded in Defs, not Types.
+			var t types.Type
+			if id, ok := n.Value.(*ast.Ident); ok {
+				if v, ok := info.Defs[id].(*types.Var); ok {
+					t = v.Type()
+				} else if v, ok := info.Uses[id].(*types.Var); ok {
+					t = v.Type()
+				}
+			} else {
+				t = info.Types[n.Value].Type
+			}
+			if t == nil {
+				return true
+			}
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				return true
+			}
+			if containsLock(t) {
+				p.Reportf(n.Value.Pos(), "range value copies lock-containing type %s; range over indices instead", t)
+			}
+		}
+		return true
+	})
+}
+
+// copiesExistingValue reports whether an rvalue expression copies an
+// already-live value (as opposed to a fresh composite literal, call
+// result, or address).
+func copiesExistingValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == token.MUL
+	}
+	return false
+}
+
+// checkMixedAtomic flags fields and package variables that are accessed
+// through sync/atomic functions in one place and with plain loads or
+// stores elsewhere in the package.
+func checkMixedAtomic(p *Pass) {
+	info := p.Pkg.Info
+	atomicVars := make(map[*types.Var]bool)
+	atomicNodes := make(map[ast.Node]bool)
+	// Pass 1: find &x arguments to sync/atomic calls.
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if v := addressedVar(info, un.X); v != nil {
+					atomicVars[v] = true
+					atomicNodes[ast.Unparen(un.X)] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+	// Pass 2: find plain accesses to those variables.
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if atomicNodes[n] {
+				return false
+			}
+			var v *types.Var
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				v, _ = info.Uses[e.Sel].(*types.Var)
+			case *ast.Ident:
+				v, _ = info.Uses[e].(*types.Var)
+			default:
+				return true
+			}
+			if v == nil || !atomicVars[v] {
+				return true
+			}
+			p.Reportf(n.(ast.Expr).Pos(), "%s is accessed atomically elsewhere in this package; this plain access races with the atomic ones", v.Name())
+			return false
+		})
+	}
+}
+
+// addressedVar resolves &expr's operand to the variable (field or package
+// var) being addressed.
+func addressedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// checkPoolRetention flags uses of a value after it has been handed back
+// to a sync.Pool via Put in the same function.
+func checkPoolRetention(p *Pass, file *ast.File) {
+	info := p.Pkg.Info
+	ast.Inspect(file, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body == nil {
+			return true
+		}
+		// Deferred Puts run at function exit, so later uses are fine.
+		deferred := make(map[*ast.CallExpr]bool)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				deferred[d.Call] = true
+			}
+			return true
+		})
+		// Find non-deferred Put calls on sync.Pool values.
+		type putCall struct {
+			v   *types.Var
+			end token.Pos
+		}
+		var puts []putCall
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 || deferred[call] {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Put" {
+				return true
+			}
+			recv := info.Types[sel.X].Type
+			if recv == nil || !isSyncPool(recv) {
+				return true
+			}
+			id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				puts = append(puts, putCall{v: v, end: call.End()})
+			}
+			return true
+		})
+		if len(puts) == 0 {
+			return true
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			for _, put := range puts {
+				if v == put.v && id.Pos() > put.end {
+					p.Reportf(id.Pos(), "%s is used after being returned to a sync.Pool; another goroutine may already own it", v.Name())
+					return true
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// isSyncPool reports whether t is sync.Pool or *sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}

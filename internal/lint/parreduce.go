@@ -1,0 +1,586 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ParReduceAnalyzer enforces the ordered-reduction discipline that keeps
+// parallel runs byte-identical to sequential ones in the seeded trees:
+// inside a worker closure (a func literal passed to parallel.ForEach /
+// parallel.Blocks, or launched by a go statement), every write to
+// captured state must target a per-index slot — out[i] = ... where i is
+// derived only from the closure's index parameters, constants, and
+// read-only captured values. Shared-scalar accumulation, captured map
+// writes, appends to captured slices, writes through captured pointers,
+// and slot writes at non-index-derived positions are all flagged: each
+// one makes the result depend on goroutine scheduling.
+//
+// Post-join consumption is checked narrowly: a descending for loop (i--)
+// indexing a slice the workers just filled is flagged, since reductions
+// must visit slots in ascending index order to match the sequential
+// execution byte for byte.
+var ParReduceAnalyzer = &Analyzer{
+	Name: "parreduce",
+	Doc:  "require per-index slot writes in worker closures and ascending post-join reduction in seeded packages",
+	Run:  runParReduce,
+}
+
+func runParReduce(p *Pass) {
+	if !inRestrictedTree(p) {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkPostJoin(p, n)
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkWorker(p, lit, "go statement")
+				}
+			case *ast.CallExpr:
+				if name, lit := parallelWorker(p, n); lit != nil {
+					checkWorker(p, lit, "parallel."+name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// parallelWorker recognizes parallel.ForEach / parallel.Blocks calls whose
+// last argument is a func literal, returning the primitive name and the
+// literal.
+func parallelWorker(p *Pass, call *ast.CallExpr) (string, *ast.FuncLit) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != p.Pkg.Module+"/internal/parallel" {
+		return "", nil
+	}
+	if fn.Name() != "ForEach" && fn.Name() != "Blocks" {
+		return "", nil
+	}
+	if len(call.Args) == 0 {
+		return "", nil
+	}
+	lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+	if !ok {
+		return "", nil
+	}
+	return fn.Name(), lit
+}
+
+// workerScope carries the dataflow facts for one worker closure.
+type workerScope struct {
+	pass *Pass
+	lit  *ast.FuncLit
+	ctx  string
+	// written holds the captured variables the closure writes (used to
+	// disqualify them as read-only index sources).
+	written map[*types.Var]bool
+	// derived holds the variables whose values are index-derived:
+	// closure int parameters and locals computed only from index-derived
+	// inputs, constants, and read-only captured values.
+	derived map[*types.Var]bool
+}
+
+func checkWorker(p *Pass, lit *ast.FuncLit, ctx string) {
+	w := &workerScope{
+		pass:    p,
+		lit:     lit,
+		ctx:     ctx,
+		written: make(map[*types.Var]bool),
+		derived: make(map[*types.Var]bool),
+	}
+	w.collectWrites()
+	w.solveDerived()
+	w.flag()
+}
+
+// capturedVar returns the captured variable an lvalue expression is rooted
+// at, or nil when the expression is rooted at a closure-local variable.
+func (w *workerScope) capturedVar(expr ast.Expr) *types.Var {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.Ident:
+			v, ok := w.pass.Pkg.Info.Uses[e].(*types.Var)
+			if !ok || w.declaredInside(v) {
+				return nil
+			}
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredInside reports whether v is declared within the closure (its
+// parameters and locals are scheduling-private).
+func (w *workerScope) declaredInside(v *types.Var) bool {
+	return v.Pos() >= w.lit.Pos() && v.Pos() <= w.lit.End()
+}
+
+// eachWriteTarget invokes fn for every lvalue the closure writes.
+func (w *workerScope) eachWriteTarget(fn func(target ast.Expr, stmt ast.Node)) {
+	info := w.pass.Pkg.Info
+	ast.Inspect(w.lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				fn(lhs, n)
+			}
+		case *ast.IncDecStmt:
+			fn(n.X, n)
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				if n.Key != nil {
+					fn(n.Key, n)
+				}
+				if n.Value != nil {
+					fn(n.Value, n)
+				}
+			}
+		case *ast.CallExpr:
+			if b := builtinOf(info, n); b != nil && b.Name() == "delete" && len(n.Args) > 0 {
+				fn(n.Args[0], n)
+			}
+		}
+		return true
+	})
+}
+
+// collectWrites records which captured variables the closure writes.
+func (w *workerScope) collectWrites() {
+	w.eachWriteTarget(func(target ast.Expr, _ ast.Node) {
+		if v := w.capturedVar(target); v != nil {
+			w.written[v] = true
+		}
+	})
+	// copy(dst, src) writes through dst as well.
+	ast.Inspect(w.lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if b := builtinOf(w.pass.Pkg.Info, call); b != nil && b.Name() == "copy" && len(call.Args) == 2 {
+			if v := w.capturedVar(call.Args[0]); v != nil {
+				w.written[v] = true
+			}
+		}
+		return true
+	})
+}
+
+// solveDerived computes the index-derived variable set by optimistic
+// fixed-point iteration over the closure's assignments.
+func (w *workerScope) solveDerived() {
+	info := w.pass.Pkg.Info
+	// Closure integer parameters are the index sources.
+	if w.lit.Type.Params != nil {
+		for _, field := range w.lit.Type.Params.List {
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok && isIntegerVar(v) {
+					w.derived[v] = true
+				}
+			}
+		}
+	}
+	// Gather assignments to closure-local variables. sources[v] == nil
+	// means v has an inherently non-derivable source (range over a map or
+	// channel, tuple from a call, ...).
+	sources := make(map[*types.Var][]ast.Expr)
+	locals := make(map[*types.Var]bool)
+	addSource := func(v *types.Var, e ast.Expr) {
+		locals[v] = true
+		if _, poisoned := sources[v]; poisoned && sources[v] == nil {
+			return
+		}
+		if e == nil {
+			sources[v] = nil
+			return
+		}
+		sources[v] = append(sources[v], e)
+	}
+	lhsVar := func(e ast.Expr) *types.Var {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			return v
+		}
+		v, _ := info.Uses[id].(*types.Var)
+		if v != nil && !w.declaredInside(v) {
+			return nil
+		}
+		return v
+	}
+	ast.Inspect(w.lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if v := lhsVar(lhs); v != nil {
+						addSource(v, n.Rhs[i])
+					}
+				}
+			} else {
+				// Tuple assignment from a call or type assertion.
+				for _, lhs := range n.Lhs {
+					if v := lhsVar(lhs); v != nil {
+						addSource(v, nil)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			keyDerivable := false
+			switch info.Types[n.X].Type.Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Basic:
+				keyDerivable = w.derivableExpr(n.X, w.derived)
+			}
+			if n.Key != nil {
+				if v := lhsVar(n.Key); v != nil {
+					if keyDerivable {
+						addSource(v, n.X)
+					} else {
+						addSource(v, nil)
+					}
+				}
+			}
+			if n.Value != nil {
+				if v := lhsVar(n.Value); v != nil {
+					if keyDerivable {
+						addSource(v, n.X)
+					} else {
+						addSource(v, nil)
+					}
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					v, ok := info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					locals[v] = true
+					if i < len(vs.Values) {
+						addSource(v, vs.Values[i])
+					}
+					// A var with no initializer is the zero value:
+					// derivable, no source needed.
+				}
+			}
+		}
+		return true
+	})
+	// Optimistically mark every local derivable, then refute.
+	for v := range locals {
+		w.derived[v] = true
+	}
+	for v, srcs := range sources {
+		if srcs == nil {
+			delete(w.derived, v)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for v, srcs := range sources {
+			if !w.derived[v] || srcs == nil {
+				continue
+			}
+			for _, src := range srcs {
+				if !w.derivableExpr(src, w.derived) {
+					delete(w.derived, v)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// derivableExpr reports whether e's value is index-derived: built only
+// from index-derived variables, constants, and read-only captured values.
+// derived may be nil to mean "no locals assumed derived yet".
+func (w *workerScope) derivableExpr(e ast.Expr, derived map[*types.Var]bool) bool {
+	info := w.pass.Pkg.Info
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		switch o := obj.(type) {
+		case *types.Const:
+			return true
+		case *types.Var:
+			if w.declaredInside(o) {
+				return derived[o]
+			}
+			// Read-only captured values are a deterministic snapshot;
+			// captured values the closure writes are scheduling-dependent.
+			return !w.written[o]
+		case *types.Nil:
+			return true
+		}
+		return false
+	case *ast.ParenExpr:
+		return w.derivableExpr(e.X, derived)
+	case *ast.BinaryExpr:
+		return w.derivableExpr(e.X, derived) && w.derivableExpr(e.Y, derived)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			return false // channel receive: scheduling-dependent
+		}
+		return w.derivableExpr(e.X, derived)
+	case *ast.IndexExpr:
+		return w.derivableExpr(e.X, derived) && w.derivableExpr(e.Index, derived)
+	case *ast.SliceExpr:
+		if !w.derivableExpr(e.X, derived) {
+			return false
+		}
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil && !w.derivableExpr(idx, derived) {
+				return false
+			}
+		}
+		return true
+	case *ast.SelectorExpr:
+		if _, ok := info.Uses[e.Sel].(*types.Const); ok {
+			return true
+		}
+		return w.derivableExpr(e.X, derived)
+	case *ast.CallExpr:
+		if b := builtinOf(info, e); b != nil && (b.Name() == "len" || b.Name() == "cap") {
+			return len(e.Args) == 1 && w.derivableExpr(e.Args[0], derived)
+		}
+		return false
+	}
+	return false
+}
+
+// isIntegerVar reports whether v has an integer type.
+func isIntegerVar(v *types.Var) bool {
+	b, ok := v.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// flag reports every scheduling-dependent write in the closure.
+func (w *workerScope) flag() {
+	info := w.pass.Pkg.Info
+	w.eachWriteTarget(func(target ast.Expr, stmt ast.Node) {
+		w.flagTarget(target, stmt)
+	})
+	// copy into a captured destination must cover an index-derived range.
+	ast.Inspect(w.lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		b := builtinOf(info, call)
+		if b == nil || b.Name() != "copy" || len(call.Args) != 2 {
+			return true
+		}
+		v := w.capturedVar(call.Args[0])
+		if v == nil {
+			return true
+		}
+		if se, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr); ok {
+			ok := true
+			for _, idx := range []ast.Expr{se.Low, se.High} {
+				if idx != nil && !w.derivableExpr(idx, w.derived) {
+					ok = false
+				}
+			}
+			if ok && (se.Low != nil || se.High != nil) {
+				return true
+			}
+		}
+		w.pass.Reportf(call.Pos(), "copy into captured slice %q from %s worker must target an index-derived sub-range (copy(%s[lo:hi], ...))", v.Name(), w.ctx, v.Name())
+		return true
+	})
+}
+
+// flagTarget classifies one write target.
+func (w *workerScope) flagTarget(target ast.Expr, stmt ast.Node) {
+	info := w.pass.Pkg.Info
+	v := w.capturedVar(target)
+	if v == nil {
+		return
+	}
+	switch t := ast.Unparen(target).(type) {
+	case *ast.Ident:
+		if as, ok := stmt.(*ast.AssignStmt); ok && appendsTo(info, as, t) {
+			w.pass.Reportf(target.Pos(), "append to captured slice %q from %s worker reorders elements by scheduling; write per-index slots (%s[i] = ...) instead", v.Name(), w.ctx, v.Name())
+			return
+		}
+		w.pass.Reportf(target.Pos(), "write to captured variable %q from %s worker is scheduling-dependent; accumulate into a per-index slot and reduce after the join", v.Name(), w.ctx)
+	case *ast.IndexExpr:
+		if _, isMap := info.Types[t.X].Type.Underlying().(*types.Map); isMap {
+			w.pass.Reportf(target.Pos(), "write to captured map %q from %s worker is scheduling-dependent (and unsafe); collect into per-index slots and merge after the join", v.Name(), w.ctx)
+			return
+		}
+		if !w.derivableExpr(t.Index, w.derived) {
+			w.pass.Reportf(target.Pos(), "write to captured slice %q at a position not derived from the worker index; slots written by %s workers must be index-disjoint", v.Name(), w.ctx)
+		}
+		// Per-index slot write: the ordered-reduction contract.
+	case *ast.StarExpr:
+		w.pass.Reportf(target.Pos(), "write through captured pointer %q from %s worker is scheduling-dependent; write a per-index slot instead", v.Name(), w.ctx)
+	case *ast.SelectorExpr:
+		// Field write: clean when rooted at a per-index slot
+		// (out[i].f = ...), shared otherwise.
+		if !w.slotRooted(t) {
+			w.pass.Reportf(target.Pos(), "write to field of captured %q from %s worker is scheduling-dependent; write a per-index slot instead", v.Name(), w.ctx)
+		}
+	case *ast.CallExpr:
+		// delete(m, k) routed through eachWriteTarget.
+		w.pass.Reportf(target.Pos(), "delete from captured map %q inside %s worker is scheduling-dependent; collect into per-index slots and merge after the join", v.Name(), w.ctx)
+	}
+}
+
+// slotRooted reports whether a selector write chain passes through an
+// index-derived slice element (out[i].field...).
+func (w *workerScope) slotRooted(e ast.Expr) bool {
+	info := w.pass.Pkg.Info
+	for {
+		switch t := e.(type) {
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			if _, isMap := info.Types[t.X].Type.Underlying().(*types.Map); isMap {
+				return false
+			}
+			return w.derivableExpr(t.Index, w.derived)
+		default:
+			return false
+		}
+	}
+}
+
+// appendsTo reports whether the assignment is x = append(x, ...) for the
+// given lhs identifier.
+func appendsTo(info *types.Info, as *ast.AssignStmt, lhs *ast.Ident) bool {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	b := builtinOf(info, call)
+	return b != nil && b.Name() == "append"
+}
+
+// checkPostJoin flags descending reductions over worker-filled slot
+// slices: after a parallel.ForEach/Blocks statement, a for loop with an
+// i-- post statement that indexes one of the slices the workers wrote
+// consumes the slots in descending order, which inverts the sequential
+// reduction order.
+func checkPostJoin(p *Pass, block *ast.BlockStmt) {
+	slots := make(map[*types.Var]bool)
+	for _, stmt := range block.List {
+		es, ok := stmt.(*ast.ExprStmt)
+		if ok {
+			if call, isCall := es.X.(*ast.CallExpr); isCall {
+				if _, lit := parallelWorker(p, call); lit != nil {
+					for v := range workerSlotSlices(p, lit) {
+						slots[v] = true
+					}
+					continue
+				}
+			}
+		}
+		if len(slots) == 0 {
+			continue
+		}
+		fs, ok := stmt.(*ast.ForStmt)
+		if !ok {
+			continue
+		}
+		post, ok := fs.Post.(*ast.IncDecStmt)
+		if !ok || post.Tok != token.DEC {
+			continue
+		}
+		if v := descendingSlotUse(p, fs, slots); v != nil {
+			p.Reportf(fs.Pos(), "post-join reduction over worker-filled slice %q iterates in descending index order; consume slots in ascending order to match sequential execution", v.Name())
+		}
+	}
+}
+
+// workerSlotSlices returns the captured slices a worker closure writes
+// per-index slots into.
+func workerSlotSlices(p *Pass, lit *ast.FuncLit) map[*types.Var]bool {
+	w := &workerScope{
+		pass:    p,
+		lit:     lit,
+		ctx:     "",
+		written: make(map[*types.Var]bool),
+		derived: make(map[*types.Var]bool),
+	}
+	out := make(map[*types.Var]bool)
+	w.eachWriteTarget(func(target ast.Expr, _ ast.Node) {
+		if idx, ok := ast.Unparen(target).(*ast.IndexExpr); ok {
+			if _, isMap := p.Pkg.Info.Types[idx.X].Type.Underlying().(*types.Map); isMap {
+				return
+			}
+			if v := w.capturedVar(target); v != nil {
+				out[v] = true
+			}
+		}
+	})
+	return out
+}
+
+// descendingSlotUse returns a slot slice indexed inside the descending
+// loop's body, or nil.
+func descendingSlotUse(p *Pass, fs *ast.ForStmt, slots map[*types.Var]bool) *types.Var {
+	var found *types.Var
+	ast.Inspect(fs.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		idx, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(idx.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := p.Pkg.Info.Uses[id].(*types.Var); ok && slots[v] {
+			found = v
+		}
+		return true
+	})
+	return found
+}

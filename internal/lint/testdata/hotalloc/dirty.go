@@ -1,0 +1,74 @@
+// Package hotfix exercises the hotalloc analyzer: //colsim:hotpath
+// functions and everything they call must be allocation-free.
+package hotfix
+
+import "fmt"
+
+type item struct{ k, v int }
+
+// helper is not annotated: reached from the hot root through the call
+// graph, its allocation is still flagged at its own position.
+func helper(n int) []int {
+	return make([]int, n) // want "make allocates"
+}
+
+// record's any parameter boxes concrete arguments at hot call sites.
+func record(v any) { _ = v }
+
+//colsim:coldpath fixture: lazy one-time registration path
+func lazyRegister() map[string]int {
+	return map[string]int{"a": 1}
+}
+
+//colsim:coldpath
+func badColdpath() {} // want "requires a reason"
+
+//colsim:hotpath
+func DirtyHot(xs []int, s string, fn func() int) int {
+	m := map[int]int{}                // want "map literal allocates"
+	lit := []int{1, 2, 3}             // want "slice literal allocates"
+	p := &item{k: 1}                  // want "address-of composite literal allocates"
+	b := new(item)                    // want "new allocates"
+	xs = append(xs, 1)                // want "append may grow"
+	msg := fmt.Sprintf("%d", len(xs)) // want "call to fmt.Sprintf allocates"
+	msg = msg + s                     // want "string concatenation allocates"
+	raw := []byte(s)                  // want "conversion allocates"
+	n := fn()                         // want "call through function value"
+	total := 0
+	add := func() { total += n } // want "closure capturing"
+	add()                        // want "call through function value"
+	record(item{k: n})           // want "boxes"
+	_ = helper(n)
+	_ = lazyRegister()
+	return len(m) + len(lit) + p.k + b.v + len(raw) + len(msg)
+}
+
+//colsim:hotpath
+func CleanHot(xs []int, buf []byte) int {
+	// Reslice-reuse append and panic arguments are exempt; plain
+	// arithmetic, len/cap, and index writes are free.
+	buf = append(buf[:0], 'x')
+	acc := 0
+	for i := 0; i < len(xs); i++ {
+		if xs[i] < 0 {
+			panic(fmt.Sprintf("negative at %d", i))
+		}
+		acc += xs[i]
+	}
+	scratch := make([]int, 0, 8) //colsimlint:ignore hotalloc fixture: setup-time prealloc outside the steady loop
+	for i := 0; i < len(xs); i++ {
+		scratch = append(scratch, xs[i])
+	}
+	_ = cleanCallee(acc)
+	return acc + len(buf) + len(scratch)
+}
+
+// cleanCallee is allocation-free, so traversal stays silent.
+func cleanCallee(n int) int { return n * 2 }
+
+//colsim:hotpath
+func OtherHot(n int) int {
+	// Calling another hot-annotated function does not re-traverse it:
+	// its own contract covers it.
+	return CleanHot(nil, nil) + n
+}

@@ -1,0 +1,40 @@
+// Package dep is the cross-package dependency for the hotalloc
+// call-graph fixture. It is imported by its real module path, so the
+// analyzer traverses into it exactly as it does for production packages.
+package dep
+
+// Summarizer is implemented by Slow; interface calls from a hot path are
+// widened to every module-local implementation.
+type Summarizer interface {
+	Summarize(n int) string
+}
+
+// Slow allocates inside the interface method.
+type Slow struct{}
+
+// Summarize concatenates, allocating on every iteration.
+func (Slow) Summarize(n int) string {
+	s := "x"
+	for i := 0; i < n; i++ {
+		s = s + "y"
+	}
+	return s
+}
+
+// Alloc builds a fresh slice on every call.
+func Alloc(n int) []int {
+	out := make([]int, n)
+	return out
+}
+
+// Clean is allocation-free.
+func Clean(a, b int) int { return a + b }
+
+//colsim:coldpath fixture: registration-style lazy path
+func LazyInit() []int { return make([]int, 8) }
+
+// Scratch allocates intentionally; its own package waives the finding, so
+// hot callers see a clean subtree.
+func Scratch(n int) []int {
+	return make([]int, n) //colsimlint:ignore hotalloc fixture: amortized scratch buffer owned by the callee
+}

@@ -1,0 +1,21 @@
+// Package hotdep exercises hotalloc's cross-package call-graph
+// traversal: allocations inside module-local dependencies are reported at
+// the boundary call site in the package under analysis.
+package hotdep
+
+import "github.com/p2psim/collusion/internal/lint/testdata/hotallocdep/dep"
+
+//colsim:hotpath
+func Root(n int) int {
+	xs := dep.Alloc(n) // want "call to dep.Alloc allocates"
+	n = dep.Clean(n, 2)
+	_ = dep.LazyInit() // clean: coldpath carve-out in the dependency
+	_ = dep.Scratch(n) // clean: suppressed inside the dependency
+	return len(xs) + n
+}
+
+//colsim:hotpath
+func ViaInterface(s dep.Summarizer, n int) int {
+	out := s.Summarize(n) // want "possible interface dispatch"
+	return len(out)
+}

@@ -1,0 +1,68 @@
+// Package lockfix exercises the lockcheck analyzer: copied locks, mixed
+// atomic/plain field access, and sync.Pool values retained past Put.
+package lockfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func ByValueParam(c counters) int64 { // want "parameter passes lock-containing type"
+	return c.n
+}
+
+func CopyAssign(c *counters) int64 {
+	snapshot := *c // want "assignment copies lock-containing value"
+	return snapshot.n
+}
+
+// CleanPointer is the correct shape: lock travels by pointer.
+func CleanPointer(c *counters) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+type stats struct{ hits int64 }
+
+func MixedAtomic(s *stats) int64 {
+	atomic.AddInt64(&s.hits, 1)
+	return s.hits // want "accessed atomically elsewhere"
+}
+
+type onlyAtomic struct{ m int64 }
+
+// Bump only ever touches m atomically: clean.
+func Bump(o *onlyAtomic) {
+	atomic.AddInt64(&o.m, 1)
+}
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func PoolRetain() int {
+	b := bufPool.Get().(*[]byte)
+	bufPool.Put(b)
+	return len(*b) // want "used after being returned to a sync.Pool"
+}
+
+// PoolClean defers the Put, so every use precedes the handback.
+func PoolClean() int {
+	b := bufPool.Get().(*[]byte)
+	defer bufPool.Put(b)
+	return cap(*b)
+}
+
+type wrapper struct{ inner counters }
+
+func RangeCopies(ws []wrapper) int64 {
+	var total int64
+	for _, w := range ws { // want "range value copies lock-containing type"
+		total += w.inner.n
+	}
+	return total
+}

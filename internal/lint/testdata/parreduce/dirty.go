@@ -1,0 +1,111 @@
+// Package parfix exercises the parreduce analyzer: worker closures must
+// write per-index slots and post-join reductions must run ascending.
+package parfix
+
+import "github.com/p2psim/collusion/internal/parallel"
+
+// CleanForEach is the ordered-reduction contract: workers fill disjoint
+// slots, the join consumes them in ascending index order.
+func CleanForEach(n int) int {
+	out := make([]int, n)
+	parallel.ForEach(4, n, func(i int) {
+		out[i] = i * i
+	})
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += out[i]
+	}
+	return sum
+}
+
+// CleanBlocks writes through loop variables derived from the block
+// bounds, the idiom the sparse EigenTrust multiply uses.
+func CleanBlocks(c []float64, n int) {
+	parallel.Blocks(4, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c[i] = float64(i) * 0.5
+		}
+	})
+}
+
+// CleanStructSlot writes a field of a per-index slot.
+func CleanStructSlot(n int) []struct{ V int } {
+	out := make([]struct{ V int }, n)
+	parallel.ForEach(2, n, func(i int) {
+		out[i].V = i
+	})
+	return out
+}
+
+func SharedScalar(n int) int {
+	sum := 0
+	parallel.ForEach(4, n, func(i int) {
+		sum += i // want "write to captured variable"
+	})
+	return sum
+}
+
+func SharedMap(n int) map[int]int {
+	m := make(map[int]int, n)
+	parallel.ForEach(4, n, func(i int) {
+		m[i] = i // want "write to captured map"
+	})
+	return m
+}
+
+func AppendCapture(n int) []int {
+	var out []int
+	parallel.ForEach(4, n, func(i int) {
+		out = append(out, i) // want "append to captured slice"
+	})
+	return out
+}
+
+func NonIndexSlot(n int, next func() int) []int {
+	out := make([]int, n)
+	parallel.ForEach(4, n, func(i int) {
+		j := next()
+		out[j] = i // want "not derived from the worker index"
+	})
+	return out
+}
+
+func DescendingReduce(n int) int {
+	out := make([]int, n)
+	parallel.ForEach(4, n, func(i int) {
+		out[i] = i
+	})
+	sum := 0
+	for i := n - 1; i >= 0; i-- { // want "descending index order"
+		sum += out[i]
+	}
+	return sum
+}
+
+func GoStmtWrite(done chan struct{}) int {
+	total := 0
+	go func() {
+		total = 1 // want "write to captured variable"
+		close(done)
+	}()
+	return total
+}
+
+func PointerEscape(n int, acc *int) {
+	parallel.ForEach(4, n, func(i int) {
+		*acc = i // want "write through captured pointer"
+	})
+}
+
+func WholeCopy(n int, dst, src []int) {
+	parallel.Blocks(4, n, func(lo, hi int) {
+		copy(dst, src) // want "copy into captured slice"
+	})
+}
+
+// CleanRangeCopy copies into an index-derived sub-range.
+func CleanRangeCopy(n int, dst, src []int) {
+	parallel.Blocks(4, n, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}

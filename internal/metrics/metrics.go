@@ -92,6 +92,11 @@ func (m *CostMeter) String() string {
 	return b.String()
 }
 
+// counter returns (registering on first use) the named counter. After the
+// first call for a name the path is a mutex-guarded map read; the
+// allocations below happen once per counter name for the meter's lifetime.
+//
+//colsim:coldpath lazy one-time registration per counter name; steady-state calls take the map-hit path
 func (m *CostMeter) counter(name string) *atomic.Int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()

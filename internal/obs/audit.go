@@ -68,6 +68,8 @@ type PairAudit struct {
 }
 
 // PairAudit emits a "pair_audit" event carrying the decision.
+//
+//colsim:coldpath no-op unless tracing is enabled; audited runs trade allocation freedom for the decision record
 func (t *Tracer) PairAudit(a PairAudit) {
 	if !t.Enabled() {
 		return

@@ -54,6 +54,8 @@ func (r *Registry) Meter() *metrics.CostMeter {
 
 // Gauge returns (creating on first use) the named gauge. Nil-safe: a nil
 // registry yields a nil gauge whose methods are no-ops.
+//
+//colsim:coldpath lazy one-time registration per gauge name; hot paths cache the returned pointer
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
@@ -70,6 +72,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns (creating on first use) the named histogram. Nil-safe
 // like Gauge.
+//
+//colsim:coldpath lazy one-time registration per histogram name; hot paths cache the returned pointer
 func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
