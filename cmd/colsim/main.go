@@ -8,7 +8,7 @@
 //	       [-engine eigentrust|summation|weighted|iterative|similarity]
 //	       [-detector none|basic|optimized|group|sybil]
 //	       [-compromised] [-ring 0] [-swarm 0] [-cycles 20] [-window 0]
-//	       [-ingest-shards 0] [-runs 1] [-seed 1]
+//	       [-ingest-shards 0] [-full-detect] [-runs 1] [-seed 1]
 //	       [-trace trace.jsonl] [-metrics metrics.json|metrics.prom]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -56,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cycles      = fs.Int("cycles", 20, "simulation cycles")
 		window      = fs.Int("window", 0, "sliding-window length in simulation cycles (0: cumulative)")
 		shards      = fs.Int("ingest-shards", 0, "writer goroutines for sharded rating ingest (0: immediate single-writer records)")
+		fullDetect  = fs.Bool("full-detect", false, "run every detection cycle from scratch instead of incrementally (identical output, higher cost)")
 		runs        = fs.Int("runs", 1, "runs to average")
 		seed        = fs.Uint64("seed", 1, "random seed")
 		tracePath   = fs.String("trace", "", "write the deterministic JSONL run trace to this file")
@@ -73,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg.SimCycles = *cycles
 	cfg.WindowCycles = *window
 	cfg.IngestShards = *shards
+	cfg.FullDetect = *fullDetect
 	cfg.ColluderGoodProb = *b
 	cfg.Colluders = make([]int, *colluders)
 	for i := range cfg.Colluders {

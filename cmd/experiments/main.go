@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-fig all|ablations|fig1a|...|fig13|ab-*] [-runs 5] [-seed 1] [-scale 1.0] [-workers 0] [-out dir]
+//	experiments [-fig all|ablations|fig1a|...|fig13|ab-*] [-runs 5] [-seed 1] [-scale 1.0] [-workers 0] [-full-detect] [-out dir]
 //	            [-trace trace.jsonl] [-metrics metrics.json|metrics.prom]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -49,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		scale   = fs.Float64("scale", 1.0, "synthetic-trace volume scale")
 		workers = fs.Int("workers", 0, "worker goroutines for the parallel engine (0: GOMAXPROCS; output is identical for every value)")
 		shards  = fs.Int("ingest-shards", 0, "writer goroutines for sharded rating ingest inside each simulation (0: immediate single-writer records)")
+		full    = fs.Bool("full-detect", false, "run every detection cycle from scratch instead of incrementally (identical output, higher cost)")
 		out     = fs.String("out", "", "directory for CSV export (empty: no files)")
 
 		tracePath   = fs.String("trace", "", "write the deterministic JSONL run trace to this file")
@@ -64,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if w <= 0 {
 		w = parallel.DefaultWorkers()
 	}
-	opts := experiments.Options{Seed: *seed, Runs: *runs, Scale: *scale, Workers: w, IngestShards: *shards}
+	opts := experiments.Options{Seed: *seed, Runs: *runs, Scale: *scale, Workers: w, IngestShards: *shards, FullDetect: *full}
 	var tracer *obs.Tracer
 	if *tracePath != "" {
 		sink, err := obs.NewFileSink(*tracePath)

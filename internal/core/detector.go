@@ -100,12 +100,17 @@ type IncrementalDetector interface {
 	// DetectIncremental behaves exactly like Detect — identical pairs,
 	// identical meter charges, identical audit events — but memoizes each
 	// examined pair's screen outcome and replays it while neither node's
-	// received-rating row has changed. dirty must list every target whose
-	// row mutated since the previous DetectIncremental call on this
-	// detector (Ledger.DirtyTargets provides it); a superset is safe, a
-	// subset is not. The detector's thresholds must not change between
-	// calls. The returned Result shares the detector's internal buffers
-	// and is valid only until the next DetectIncremental call.
+	// received-rating row has changed. Memo validity is keyed on the
+	// ledger's per-target row generations (Ledger.RowGen), so the ledger
+	// may mutate in place between calls — a windowed merge, a Subtract of
+	// an expiring period — without resetting the detector's state. dirty
+	// must list every target whose row mutated since the previous
+	// DetectIncremental call on this detector (Ledger.DirtyTargets, or
+	// ingest.WindowLedger.Roll's return, provides it); it drives the
+	// maintenance of the high-reputation candidate set, so a superset is
+	// safe, a subset is not. The detector's thresholds must not change
+	// between calls. The returned Result shares the detector's internal
+	// buffers and is valid only until the next DetectIncremental call.
 	DetectIncremental(l *reputation.Ledger, dirty []int) Result
 }
 
@@ -117,12 +122,14 @@ type pairCharges struct {
 	bound int64 // metrics.CostBoundCheck (Optimized's Formula (2) evaluations)
 }
 
-// pairEntry memoizes one examined pair's screen: valid while both row
-// generations still match, since every statistic the screen reads (the
-// pair counts, receive totals and summation scores of i and j) is a
-// function of the two rows alone.
+// pairEntry memoizes one examined pair's screen: valid while both rows'
+// ledger generations (Ledger.RowGen) still match the values captured at
+// screen time, since every statistic the screen reads (the pair counts,
+// receive totals and summation scores of i and j) is a function of the
+// two rows alone. The ledger advances a row's generation on every
+// mutation, so validity survives in-place Merge/Subtract cycles.
 type pairEntry struct {
-	genI, genJ uint32
+	genI, genJ uint64
 	charges    pairCharges
 	flagged    bool
 }
@@ -142,42 +149,77 @@ type runBuffers struct {
 }
 
 // incrementalState is one detector's memoization across DetectIncremental
-// calls: per-target row generations advanced by the dirty set, the pair
-// screen cache, and the reusable scratch buffers.
+// calls: the maintained high-reputation candidate bitmap, the pair screen
+// cache (validated against the ledger's row generations), the telemetry
+// counters, and the reusable scratch buffers.
 type incrementalState struct {
 	ledger *reputation.Ledger
 	n      int
-	gen    []uint32
 	cache  map[[2]int32]pairEntry
 	buf    runBuffers
+
+	// cand[i] memoizes the T_R candidate screen: SummationScore(i) >= TR.
+	// The score is a function of i's row alone, so only dirty rows need
+	// rescreening each cycle — candidate maintenance is O(dirty), not a
+	// recomputation over all n score totals. seeded marks the bitmap
+	// initialized by a first full pass.
+	cand   []bool
+	seeded bool
+
+	// hits/misses are the detect.incremental_hits / _misses registry
+	// counters (nil without a registry): one hit per memoized pair screen
+	// replayed, one miss per pair screened fresh and cached. Resolved once
+	// per attach, cached here to keep the per-pair path map-free.
+	hits, misses *obs.Counter
 }
 
 // ensureIncremental returns the detector's state, resetting it whenever
-// the ledger identity or population changed (a new run, a cloned ledger,
-// a windowed merge) so stale screens can never leak across ledgers.
+// the ledger identity or population changed (a new run, a cloned ledger)
+// so stale screens can never leak across ledgers. In-place mutation of
+// the same ledger does NOT reset the state: the pair cache revalidates
+// against the ledger's row generations instead.
 //
 //colsim:coldpath allocates a fresh state only when the ledger identity or population changes; steady-state calls return the cached pointer
-func ensureIncremental(slot **incrementalState, l *reputation.Ledger) *incrementalState {
+func ensureIncremental(slot **incrementalState, l *reputation.Ledger, reg *obs.Registry) *incrementalState {
 	st := *slot
 	if st == nil || st.ledger != l || st.n != l.Size() {
 		st = &incrementalState{
 			ledger: l,
 			n:      l.Size(),
-			gen:    make([]uint32, l.Size()),
 			cache:  make(map[[2]int32]pairEntry),
+			hits:   reg.Counter("detect.incremental_hits"),
+			misses: reg.Counter("detect.incremental_misses"),
 		}
 		*slot = st
 	}
 	return st
 }
 
-// advanceGenerations invalidates every cached screen touching a dirty row.
-func (st *incrementalState) advanceGenerations(dirty []int) {
-	for _, d := range dirty {
-		if d >= 0 && d < st.n {
-			st.gen[d]++
+// refreshCandidates maintains the T_R candidate bitmap — a full screen on
+// the first call, dirty rows only afterwards — and rebuilds the ascending
+// candidate list into the reusable scratch.
+func (st *incrementalState) refreshCandidates(l *reputation.Ledger, tr float64, dirty []int) []int {
+	if !st.seeded {
+		st.cand = resizeBools(st.cand, st.n)
+		for i := 0; i < st.n; i++ {
+			st.cand[i] = float64(l.SummationScore(i)) >= tr
+		}
+		st.seeded = true
+	} else {
+		for _, d := range dirty {
+			if d >= 0 && d < st.n {
+				st.cand[d] = float64(l.SummationScore(d)) >= tr
+			}
 		}
 	}
+	out := st.buf.candidates[:0]
+	for i, c := range st.cand {
+		if c {
+			out = append(out, i) //colsimlint:ignore hotalloc grows to the high-water candidate count and is resliced to zero every cycle
+		}
+	}
+	st.buf.candidates = out
+	return out
 }
 
 // beginRun normalizes the candidate list into the ascending high list and
@@ -256,6 +298,11 @@ type Basic struct {
 	// pair recording which threshold gate it stopped at. Disabled tracing
 	// adds no work and no allocations to the hot path.
 	Trace *obs.Tracer
+	// Obs, if non-nil, receives the detect.incremental_hits/_misses
+	// counter pair: how many memoized pair screens DetectIncremental
+	// replayed versus re-ran. Telemetry only — never part of the metered
+	// operation costs the equivalence tests compare.
+	Obs *obs.Registry
 
 	inc *incrementalState
 }
@@ -281,11 +328,9 @@ func (b *Basic) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 //
 //colsim:hotpath
 func (b *Basic) DetectIncremental(l *reputation.Ledger, dirty []int) Result {
-	st := ensureIncremental(&b.inc, l)
-	st.advanceGenerations(dirty)
+	st := ensureIncremental(&b.inc, l, b.Obs)
 	auditCandidates(b.Trace, b.Name(), l, b.Thresholds.TR)
-	st.buf.candidates = appendSummationCandidates(st.buf.candidates[:0], l, b.Thresholds.TR)
-	return b.detectAmong(l, st.buf.candidates, st)
+	return b.detectAmong(l, st.refreshCandidates(l, b.Thresholds.TR, dirty), st)
 }
 
 // detectAmong is the shared detection pass.
@@ -352,6 +397,10 @@ func (b *Basic) detectAmong(l *reputation.Ledger, candidates []int, st *incremen
 		// outside re-scan, charged in bulk below.
 		highAfter := len(highList) - idx - 1
 		examined := 0
+		var genI uint64
+		if st != nil {
+			genI = l.RowGen(i)
+		}
 		for k, x32 := range pc.Raters {
 			x := int(x32)
 			if x <= i || !high[x] {
@@ -360,17 +409,19 @@ func (b *Basic) detectAmong(l *reputation.Ledger, candidates []int, st *incremen
 			examined++
 			if st != nil {
 				key := [2]int32{int32(i), x32}
-				if e, ok := st.cache[key]; ok && e.genI == st.gen[i] && e.genJ == st.gen[x] {
+				if e, ok := st.cache[key]; ok && e.genI == genI && e.genJ == l.RowGen(x) {
+					st.hits.Add(1)
 					b.charge(metrics.CostMatrixScan, e.charges.scan)
 					if e.flagged {
 						res.addPair(l, i, x)
 					}
 					continue
 				}
+				st.misses.Add(1)
 				gate, ch := b.examinePair(l, i, x, int(pc.Total[k]), int(pc.Pos[k]), &res)
 				b.charge(metrics.CostMatrixScan, ch.scan)
 				st.cache[key] = pairEntry{
-					genI: st.gen[i], genJ: st.gen[x],
+					genI: genI, genJ: l.RowGen(x),
 					charges: ch, flagged: gate == obs.GateFlagged,
 				}
 				continue
@@ -482,6 +533,9 @@ type Optimized struct {
 	// pair, including the Formula (2) interval each side was checked
 	// against. Disabled tracing adds no work and no allocations.
 	Trace *obs.Tracer
+	// Obs, if non-nil, receives the detect.incremental_hits/_misses
+	// counter pair, exactly as on Basic.
+	Obs *obs.Registry
 
 	inc *incrementalState
 }
@@ -507,11 +561,9 @@ func (o *Optimized) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 //
 //colsim:hotpath
 func (o *Optimized) DetectIncremental(l *reputation.Ledger, dirty []int) Result {
-	st := ensureIncremental(&o.inc, l)
-	st.advanceGenerations(dirty)
+	st := ensureIncremental(&o.inc, l, o.Obs)
 	auditCandidates(o.Trace, o.Name(), l, o.Thresholds.TR)
-	st.buf.candidates = appendSummationCandidates(st.buf.candidates[:0], l, o.Thresholds.TR)
-	return o.detectAmong(l, st.buf.candidates, st)
+	return o.detectAmong(l, st.refreshCandidates(l, o.Thresholds.TR, dirty), st)
 }
 
 // detectAmong is the shared detection pass, with the same dense-scan
@@ -560,6 +612,10 @@ func (o *Optimized) detectAmong(l *reputation.Ledger, candidates []int, st *incr
 
 		// Fast path: a pair with N_(i,j) = 0 fails the frequency gate with
 		// no charge and no audit, so only i's adjacency needs visiting.
+		var genI uint64
+		if st != nil {
+			genI = l.RowGen(i)
+		}
 		for k, x32 := range pc.Raters {
 			x := int(x32)
 			if x <= i || !high[x] {
@@ -571,17 +627,19 @@ func (o *Optimized) detectAmong(l *reputation.Ledger, candidates []int, st *incr
 			}
 			if st != nil {
 				key := [2]int32{int32(i), x32}
-				if e, ok := st.cache[key]; ok && e.genI == st.gen[i] && e.genJ == st.gen[x] {
+				if e, ok := st.cache[key]; ok && e.genI == genI && e.genJ == l.RowGen(x) {
+					st.hits.Add(1)
 					o.charge(metrics.CostBoundCheck, e.charges.bound)
 					if e.flagged {
 						res.addPair(l, i, x)
 					}
 					continue
 				}
+				st.misses.Add(1)
 				gate, ch := o.screenReverse(l, i, x, ri, ni, nij, int(pc.Pos[k]), &res)
 				o.charge(metrics.CostBoundCheck, ch.bound)
 				st.cache[key] = pairEntry{
-					genI: st.gen[i], genJ: st.gen[x],
+					genI: genI, genJ: l.RowGen(x),
 					charges: ch, flagged: gate == obs.GateFlagged,
 				}
 				continue
@@ -820,17 +878,15 @@ func max2(a, b int) int {
 	return b
 }
 
-// summationCandidates returns nodes whose summation reputation reaches tr.
+// summationCandidates returns nodes whose summation reputation reaches tr
+// — the full T_R screen the pure Detect contract runs every call. The
+// incremental path maintains the same set through
+// incrementalState.refreshCandidates instead, rescreening dirty rows only.
 func summationCandidates(l *reputation.Ledger, tr float64) []int {
-	return appendSummationCandidates(nil, l, tr)
-}
-
-// appendSummationCandidates appends the candidates to out, reusing its
-// storage — the incremental detectors call it each cycle.
-func appendSummationCandidates(out []int, l *reputation.Ledger, tr float64) []int {
+	var out []int
 	for i := 0; i < l.Size(); i++ {
 		if float64(l.SummationScore(i)) >= tr {
-			out = append(out, i) //colsimlint:ignore hotalloc grows to the high-water candidate count; incremental callers pass the retained buffer resliced to zero
+			out = append(out, i)
 		}
 	}
 	return out

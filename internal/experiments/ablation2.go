@@ -38,6 +38,7 @@ func AbScale(opts Options) (*Table, error) {
 		for _, det := range []simulator.DetectorKind{simulator.DetectorNone, simulator.DetectorOptimized} {
 			cfg := simulator.DefaultConfig()
 			cfg.IngestShards = opts.IngestShards
+			cfg.FullDetect = opts.FullDetect
 			cfg.Seed = opts.Seed
 			cfg.Overlay.Nodes = n
 			cfg.ColluderGoodProb = 0.2
@@ -70,6 +71,7 @@ func AbChurn(opts Options) (*Table, error) {
 	opts = opts.normalized()
 	cfg := simulator.DefaultConfig()
 	cfg.IngestShards = opts.IngestShards
+	cfg.FullDetect = opts.FullDetect
 	cfg.Seed = opts.Seed
 	cfg.ColluderGoodProb = 0.2
 	res, err := simulator.Run(cfg)
@@ -148,6 +150,7 @@ func AbIntensity(opts Options) (*Table, error) {
 	for _, intensity := range []int{1, 2, 5, 10, 20} {
 		cfg := simulator.DefaultConfig()
 		cfg.IngestShards = opts.IngestShards
+		cfg.FullDetect = opts.FullDetect
 		cfg.Seed = opts.Seed
 		cfg.ColluderGoodProb = 0.2
 		cfg.Detector = simulator.DetectorOptimized
@@ -199,6 +202,7 @@ func AbDecentralizedLive(opts Options) (*Table, error) {
 		th := simulator.SimThresholds()
 		cfg := simulator.DefaultConfig()
 		cfg.IngestShards = opts.IngestShards
+		cfg.FullDetect = opts.FullDetect
 		cfg.Seed = opts.Seed
 		cfg.ColluderGoodProb = 0.2
 		cfg.Colluders = colluderSet(nc)

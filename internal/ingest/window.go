@@ -20,9 +20,11 @@ import (
 // Usage follows the simulation loop: Record (or batch-ingest into
 // Current) during a cycle, Roll once when the cycle closes, then read
 // Window. The merged view is live and stable — the same *Ledger instance
-// across cycles — with Merge/Subtract maintaining its dirty-target set,
-// so windowed consumers can drive incremental detection off
-// Window().DirtyTargets() exactly like cumulative ones.
+// across cycles — and Roll reports exactly which of its rows the cycle
+// changed (delta rows merged in plus rows the evicted period's
+// subtraction touched), so windowed consumers drive incremental
+// detection off Roll's returned dirty set exactly like cumulative ones
+// drive it off Ledger.DirtyTargets.
 type WindowLedger struct {
 	n      int
 	window int
@@ -35,11 +37,14 @@ type WindowLedger struct {
 	rolled    int // cycles sealed so far
 	deltaRows int // distinct targets in the most recently sealed delta
 
-	// Obs, if non-nil, receives the window.delta_rows_per_cycle
-	// histogram: one observation per Roll recording how many target rows
-	// the sealed delta touched. Atomic and order-independent, like all
-	// run-side histogram recording. (The companion window.delta_rows
-	// gauge is set post-run by the CLIs from the final cycle's value.)
+	// Obs, if non-nil, receives two per-Roll histograms:
+	// window.delta_rows_per_cycle records how many target rows the sealed
+	// delta touched, and window.dirty_rows_per_cycle records the size of
+	// the cycle's full dirty set (delta rows plus rows the evicted
+	// period's subtraction touched) — the row count incremental detection
+	// actually rescreens. Atomic and order-independent, like all run-side
+	// histogram recording. (The companion window.delta_rows gauge is set
+	// post-run by the CLIs from the final cycle's value.)
 	Obs *obs.Registry
 }
 
@@ -86,8 +91,17 @@ func (w *WindowLedger) Current() *reputation.Ledger { return w.cur }
 // merged in and pushed onto the ring, and a fresh open period begins,
 // reusing the evicted delta's storage. Cost is O(rows changed), not
 // O(window · nnz).
-func (w *WindowLedger) Roll() {
-	w.deltaRows = len(w.cur.DirtyTargets())
+//
+// Roll returns the cycle's dirty set: every target row the merged window
+// view changed this cycle — the rows the sealed delta merged in plus the
+// rows the evicted delta's subtraction touched — ascending and
+// deterministic (a pure function of the rating stream, never of shard
+// count or scheduling). It is exactly the dirty argument
+// core.IncrementalDetector.DetectIncremental requires for the merged
+// window, and Roll consumes the merged ledger's dirty-set bookkeeping to
+// produce it, so callers must not also call ClearDirty on Window().
+func (w *WindowLedger) Roll() []int {
+	w.deltaRows = w.cur.DirtyCount()
 	var spare *reputation.Ledger
 	if w.filled == w.window {
 		expiring := w.ring[w.head]
@@ -113,14 +127,19 @@ func (w *WindowLedger) Roll() {
 		w.cur = reputation.NewLedger(w.n)
 	}
 	w.rolled++
+	dirty := w.merged.DirtyTargets()
+	w.merged.ClearDirty()
 	w.Obs.Histogram("window.delta_rows_per_cycle").Observe(int64(w.deltaRows))
+	w.Obs.Histogram("window.dirty_rows_per_cycle").Observe(int64(len(dirty)))
+	return dirty
 }
 
 // Window returns the merged ledger over every sealed period in the
 // window. The view is live and instance-stable across cycles: mutations
-// happen only inside Roll, which maintains the ledger's dirty-target set,
-// so callers may layer incremental detection on top. Callers must not
-// mutate it.
+// happen only inside Roll, which reports them as its returned dirty set
+// (and advances the rows' generations), so callers may layer incremental
+// detection on top. Callers must not mutate it — and must not ClearDirty
+// it, since Roll owns that bookkeeping.
 func (w *WindowLedger) Window() *reputation.Ledger { return w.merged }
 
 // DeltaRows returns how many target rows the most recently sealed period

@@ -1,0 +1,130 @@
+package ingest
+
+import (
+	"testing"
+
+	"github.com/p2psim/collusion/internal/core"
+	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/rng"
+)
+
+// TestWindowedIncrementalMatchesFullDetection closes the streaming loop's
+// correctness gate end to end: a persistent incremental detector driven
+// by Roll's dirty set over a live, in-place-mutating window ledger must —
+// for 1000 straight cycles — flag the identical pairs and charge the
+// identical per-counter meter readings as a from-scratch detector pass
+// over the same merged window. The window evicts as well as merges, so
+// rows shrink, disappear and reappear between detections; any memo the
+// generation keys fail to invalidate, or any candidate the persistent
+// bitmap loses track of, diverges here.
+func TestWindowedIncrementalMatchesFullDetection(t *testing.T) {
+	r := rng.New(211).Child("windowed-incremental")
+	const (
+		n      = 36
+		window = 5
+		cycles = 1000
+	)
+	th := core.DefaultThresholds()
+	th.TR = 1
+	th.TN = 6
+
+	win := NewWindowLedger(n, window)
+	incB := core.NewBasic(th)
+	incB.Meter = new(metrics.CostMeter)
+	incO := core.NewOptimized(th)
+	incO.Meter = new(metrics.CostMeter)
+	prevB := incB.Meter.Snapshot()
+	prevO := incO.Meter.Snapshot()
+
+	flaggedOnce := 0
+	for cycle := 1; cycle <= cycles; cycle++ {
+		// Organic background traffic plus an intermittent mutual flood, so
+		// colluding pairs drift in and out of the window as cycles evict.
+		count := r.Intn(2 * n)
+		for k := 0; k < count; k++ {
+			i, j := r.Intn(n), r.Intn(n)
+			if i == j {
+				continue
+			}
+			pol := 1
+			if r.Bool(0.3) {
+				pol = -1
+			}
+			win.Record(i, j, pol)
+		}
+		if r.Bool(0.3) {
+			a, b := r.Intn(n), r.Intn(n)
+			if a != b {
+				flood := r.IntRange(4, 12)
+				for k := 0; k < flood; k++ {
+					win.Record(a, b, 1)
+					win.Record(b, a, 1)
+				}
+			}
+		}
+		dirty := win.Roll()
+
+		fullB := core.NewBasic(th)
+		fullB.Meter = new(metrics.CostMeter)
+		wantB := fullB.Detect(win.Window())
+		gotB := incB.DetectIncremental(win.Window(), dirty)
+		requireSameDetection(t, "basic", cycle, gotB, wantB)
+		prevB = requireSameMeterDelta(t, "basic", cycle, incB.Meter, prevB, fullB.Meter)
+
+		fullO := core.NewOptimized(th)
+		fullO.Meter = new(metrics.CostMeter)
+		wantO := fullO.Detect(win.Window())
+		gotO := incO.DetectIncremental(win.Window(), dirty)
+		requireSameDetection(t, "optimized", cycle, gotO, wantO)
+		prevO = requireSameMeterDelta(t, "optimized", cycle, incO.Meter, prevO, fullO.Meter)
+
+		if len(wantO.Pairs) > 0 {
+			flaggedOnce++
+		}
+	}
+	// The workload must actually exercise detection, not vacuously agree.
+	if flaggedOnce < 50 {
+		t.Fatalf("only %d/%d cycles produced detections; workload too quiet to be a meaningful gate", flaggedOnce, cycles)
+	}
+}
+
+// requireSameDetection asserts two detection results flag the identical
+// pairs with identical evidence and the identical per-node flag vector.
+func requireSameDetection(t *testing.T, det string, cycle int, got, want core.Result) {
+	t.Helper()
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("%s cycle %d: incremental found %d pairs, full pass %d\ninc  %+v\nfull %+v",
+			det, cycle, len(got.Pairs), len(want.Pairs), got.Pairs, want.Pairs)
+	}
+	for i := range want.Pairs {
+		if got.Pairs[i] != want.Pairs[i] {
+			t.Fatalf("%s cycle %d: pair %d = %+v, full pass %+v", det, cycle, i, got.Pairs[i], want.Pairs[i])
+		}
+	}
+	for i := range want.Flagged {
+		if got.Flagged[i] != want.Flagged[i] {
+			t.Fatalf("%s cycle %d: Flagged[%d] = %v, full pass %v", det, cycle, i, got.Flagged[i], want.Flagged[i])
+		}
+	}
+}
+
+// requireSameMeterDelta asserts the incremental detector's meter advanced
+// this cycle by exactly what the from-scratch pass charged — the cost
+// figures must be independent of which path computed them — and returns
+// the new snapshot for the next cycle.
+func requireSameMeterDelta(t *testing.T, det string, cycle int, inc *metrics.CostMeter, prev map[string]int64, full *metrics.CostMeter) map[string]int64 {
+	t.Helper()
+	cur := inc.Snapshot()
+	want := full.Snapshot()
+	for name, w := range want {
+		if got := cur[name] - prev[name]; got != w {
+			t.Fatalf("%s cycle %d: incremental charged %d %s this cycle, full pass %d", det, cycle, got, name, w)
+		}
+	}
+	for name := range cur {
+		if _, ok := want[name]; !ok && cur[name] != prev[name] {
+			t.Fatalf("%s cycle %d: incremental charged unexpected counter %s (+%d)", det, cycle, name, cur[name]-prev[name])
+		}
+	}
+	return cur
+}

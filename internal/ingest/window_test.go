@@ -8,6 +8,27 @@ import (
 	"github.com/p2psim/collusion/internal/rng"
 )
 
+// windowRowsEqual reports whether target t's row reads identically in
+// both ledgers: adjacency with aligned per-pair counts plus the receive
+// totals — everything the memoizing pair screens observe about a target.
+// Sent totals are rater-side state outside the row contract (only the
+// full-pass sybil detector reads them, and it never memoizes).
+func windowRowsEqual(a, b *reputation.Ledger, t int) bool {
+	ap, bp := a.PairCountsOf(t), b.PairCountsOf(t)
+	if len(ap.Raters) != len(bp.Raters) {
+		return false
+	}
+	for k := range ap.Raters {
+		if ap.Raters[k] != bp.Raters[k] || ap.Total[k] != bp.Total[k] ||
+			ap.Pos[k] != bp.Pos[k] || ap.Neg[k] != bp.Neg[k] {
+			return false
+		}
+	}
+	return a.TotalFor(t) == b.TotalFor(t) &&
+		a.PositiveFor(t) == b.PositiveFor(t) &&
+		a.NegativeFor(t) == b.NegativeFor(t)
+}
+
 // TestWindowLedgerMatchesBruteForce is the delta-ring correctness gate:
 // over 1000 random cycles the incrementally-maintained window must be
 // observationally identical to reputation.WindowedLedger's full re-merge
@@ -16,6 +37,12 @@ import (
 // with the sealed ones, while WindowLedger seals via Roll before reading
 // — so we compare right after Roll and right before the reference's
 // Advance, when both views span the same set of cycles.
+//
+// The same loop pins Roll's dirty-set contract, which incremental
+// windowed detection stands on: the returned set is sorted and
+// duplicate-free, every row whose contents changed since the previous
+// cycle is in it, and rows outside it kept both their contents and their
+// RowGen (so memoized screens keyed on generations stay valid).
 func TestWindowLedgerMatchesBruteForce(t *testing.T) {
 	r := rng.New(97)
 	const (
@@ -25,6 +52,8 @@ func TestWindowLedgerMatchesBruteForce(t *testing.T) {
 	)
 	win := NewWindowLedger(n, window)
 	ref := reputation.NewWindowedLedger(n, window)
+	prev := win.Window().Clone()
+	prevGen := make([]uint64, n)
 	for cycle := 1; cycle <= cycles; cycle++ {
 		count := r.Intn(120)
 		for k := 0; k < count; k++ {
@@ -36,12 +65,34 @@ func TestWindowLedgerMatchesBruteForce(t *testing.T) {
 			win.Record(rater, target, pol)
 			ref.Record(rater, target, pol)
 		}
-		win.Roll()
+		dirty := win.Roll()
 		if win.Periods() != ref.Periods() {
 			t.Fatalf("cycle %d: Periods = %d, want %d", cycle, win.Periods(), ref.Periods())
 		}
 		requireLedgersEqual(t, "window", win.Window(), ref.Window(), false)
 		ref.Advance()
+
+		inDirty := make([]bool, n)
+		for i, row := range dirty {
+			if i > 0 && dirty[i-1] >= row {
+				t.Fatalf("cycle %d: dirty set %v not strictly ascending", cycle, dirty)
+			}
+			inDirty[row] = true
+		}
+		for row := 0; row < n; row++ {
+			changed := !windowRowsEqual(prev, win.Window(), row)
+			if changed && !inDirty[row] {
+				t.Fatalf("cycle %d: row %d changed but is missing from dirty set %v", cycle, row, dirty)
+			}
+			if !inDirty[row] {
+				if changed || win.Window().RowGen(row) != prevGen[row] {
+					t.Fatalf("cycle %d: clean row %d mutated (gen %d -> %d)",
+						cycle, row, prevGen[row], win.Window().RowGen(row))
+				}
+			}
+			prevGen[row] = win.Window().RowGen(row)
+		}
+		prev = win.Window().Clone()
 	}
 	if win.Rolled() != cycles {
 		t.Fatalf("Rolled = %d, want %d", win.Rolled(), cycles)
@@ -49,39 +100,45 @@ func TestWindowLedgerMatchesBruteForce(t *testing.T) {
 }
 
 // TestWindowLedgerDirtySupportsIncrementalDetection pins the property the
-// simulator's incremental path would rely on: after ClearDirty, a Roll
-// marks exactly the rows whose window contents changed — rows touched by
-// the sealed delta or by the evicted one.
+// simulator's incremental path relies on: Roll returns exactly the rows
+// whose window contents this cycle touched — rows of the sealed delta
+// plus rows of the evicted one — and consumes the merged ledger's dirty
+// bookkeeping doing so.
 func TestWindowLedgerDirtySupportsIncrementalDetection(t *testing.T) {
 	const n, window = 20, 3
 	win := NewWindowLedger(n, window)
-	fill := func(pairs ...[2]int) {
+	fill := func(pairs ...[2]int) []int {
 		for _, p := range pairs {
 			win.Record(p[0], p[1], 1)
 		}
-		win.Roll()
+		return win.Roll()
 	}
-	fill([2]int{1, 2})
-	fill([2]int{3, 4})
-	fill([2]int{5, 6})
-	win.Window().ClearDirty()
-	// Sealing {7,8} evicts the cycle that touched target 2.
-	fill([2]int{7, 8})
-	dirty := win.Window().DirtyTargets()
-	want := []int{2, 8}
-	if len(dirty) != len(want) {
-		t.Fatalf("DirtyTargets = %v, want %v", dirty, want)
-	}
-	for i := range want {
-		if dirty[i] != want[i] {
-			t.Fatalf("DirtyTargets = %v, want %v", dirty, want)
+	requireDirty := func(got, want []int) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("Roll dirty = %v, want %v", got, want)
 		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Roll dirty = %v, want %v", got, want)
+			}
+		}
+	}
+	requireDirty(fill([2]int{1, 2}), []int{2})
+	requireDirty(fill([2]int{3, 4}), []int{4})
+	requireDirty(fill([2]int{5, 6}), []int{6})
+	// Sealing {7,8} evicts the cycle that touched target 2.
+	requireDirty(fill([2]int{7, 8}), []int{2, 8})
+	// Roll owns the merged view's dirty bookkeeping: nothing left behind.
+	if leftover := win.Window().DirtyTargets(); len(leftover) != 0 {
+		t.Fatalf("Window().DirtyTargets after Roll = %v, want empty", leftover)
 	}
 }
 
 // TestWindowLedgerDeltaRowsAndHistogram checks the observability hooks:
 // DeltaRows reports the sealed cycle's distinct targets and every Roll
-// lands one observation in the window.delta_rows_per_cycle histogram.
+// lands one observation in each of the window.delta_rows_per_cycle and
+// window.dirty_rows_per_cycle histograms.
 func TestWindowLedgerDeltaRowsAndHistogram(t *testing.T) {
 	reg := obs.NewRegistry(nil)
 	win := NewWindowLedger(10, 2)
@@ -97,9 +154,19 @@ func TestWindowLedgerDeltaRowsAndHistogram(t *testing.T) {
 	if win.DeltaRows() != 0 {
 		t.Fatalf("DeltaRows after empty cycle = %d, want 0", win.DeltaRows())
 	}
-	h := reg.Histogram("window.delta_rows_per_cycle")
-	if h.Count() != 2 || h.Sum() != 2 {
-		t.Fatalf("histogram count/sum = %d/%d, want 2/2", h.Count(), h.Sum())
+	// Third cycle: {0,5} seals while the first cycle (targets 1 and 3)
+	// evicts, so the dirty set spans three rows but the delta only one.
+	win.Record(0, 5, 1)
+	if dirty := win.Roll(); len(dirty) != 3 {
+		t.Fatalf("eviction-cycle dirty = %v, want rows 1, 3 and 5", dirty)
+	}
+	hd := reg.Histogram("window.delta_rows_per_cycle")
+	if hd.Count() != 3 || hd.Sum() != 3 {
+		t.Fatalf("delta_rows histogram count/sum = %d/%d, want 3/3", hd.Count(), hd.Sum())
+	}
+	hr := reg.Histogram("window.dirty_rows_per_cycle")
+	if hr.Count() != 3 || hr.Sum() != 5 {
+		t.Fatalf("dirty_rows histogram count/sum = %d/%d, want 3/5", hr.Count(), hr.Sum())
 	}
 }
 

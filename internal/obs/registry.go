@@ -26,9 +26,10 @@ import (
 type Registry struct {
 	meter *metrics.CostMeter
 
-	mu     sync.Mutex
-	gauges map[string]*Gauge
-	hists  map[string]*Histogram
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 }
 
 // NewRegistry wraps the given cost meter (a fresh one when nil).
@@ -37,9 +38,10 @@ func NewRegistry(m *metrics.CostMeter) *Registry {
 		m = &metrics.CostMeter{}
 	}
 	return &Registry{
-		meter:  m,
-		gauges: make(map[string]*Gauge),
-		hists:  make(map[string]*Histogram),
+		meter:    m,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -86,6 +88,52 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Counter returns (creating on first use) the named counter. Nil-safe
+// like Gauge. Registry counters export alongside the cost meter's in the
+// counters section of both formats, but live outside the meter: detectors
+// and engines meter only the paper's operation costs — which the
+// incremental-vs-full equivalence tests compare exactly — while registry
+// counters carry operational telemetry such as detect.incremental_hits
+// that has no dense-reference counterpart.
+//
+//colsim:coldpath lazy one-time registration per counter name; hot paths cache the returned pointer
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Counter is a monotonically increasing int64. Recording is a single
+// atomic add, so concurrent increments are order-independent. A nil
+// counter is a valid no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
 }
 
 // Gauge is a settable float value. A nil gauge is a valid no-op.
@@ -195,11 +243,15 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
-// snapshot captures the registry's gauges and histograms under the lock so
-// exporters can walk them without holding it.
-func (r *Registry) snapshot() (gauges map[string]*Gauge, hists map[string]*Histogram) {
+// snapshot captures the registry's counters, gauges and histograms under
+// the lock so exporters can walk them without holding it.
+func (r *Registry) snapshot() (counters map[string]*Counter, gauges map[string]*Gauge, hists map[string]*Histogram) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	counters = make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
 	gauges = make(map[string]*Gauge, len(r.gauges))
 	for k, v := range r.gauges {
 		gauges[k] = v
@@ -208,7 +260,22 @@ func (r *Registry) snapshot() (gauges map[string]*Gauge, hists map[string]*Histo
 	for k, v := range r.hists {
 		hists[k] = v
 	}
-	return gauges, hists
+	return counters, gauges, hists
+}
+
+// counterValues merges the cost meter's counters with the registry's own
+// into one name-to-value map for export. Names cannot collide in practice
+// (meter names are the paper's operation costs, registry names are dotted
+// telemetry), but a collision would sum rather than drop a value.
+func (r *Registry) counterValues(own map[string]*Counter) map[string]int64 {
+	out := r.meter.Snapshot()
+	if out == nil {
+		out = make(map[string]int64, len(own))
+	}
+	for name, c := range own {
+		out[name] += c.Value()
+	}
+	return out
 }
 
 // WritePrometheus renders every counter, gauge and histogram in the
@@ -217,12 +284,12 @@ func (r *Registry) snapshot() (gauges map[string]*Gauge, hists map[string]*Histo
 // (counters, gauges, histograms; each sorted by name).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	var b bytes.Buffer
-	counters := r.meter.Snapshot()
+	own, gauges, hists := r.snapshot()
+	counters := r.counterValues(own)
 	for _, name := range sortedKeys(counters) {
 		pn := promName(name)
 		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name])
 	}
-	gauges, hists := r.snapshot()
 	for _, name := range sortedKeys(gauges) {
 		pn := promName(name)
 		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", pn, pn,
@@ -277,11 +344,11 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		Gauges:     []jsonGauge{},
 		Histograms: []jsonHistogram{},
 	}
-	counters := r.meter.Snapshot()
+	own, gauges, hists := r.snapshot()
+	counters := r.counterValues(own)
 	for _, name := range sortedKeys(counters) {
 		doc.Counters = append(doc.Counters, jsonCounter{Name: name, Value: counters[name]})
 	}
-	gauges, hists := r.snapshot()
 	for _, name := range sortedKeys(gauges) {
 		doc.Gauges = append(doc.Gauges, jsonGauge{Name: name, Value: gauges[name].Value()})
 	}

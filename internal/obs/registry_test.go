@@ -36,6 +36,84 @@ func TestNilRegistry(t *testing.T) {
 	if h.Count() != 0 || h.Sum() != 0 || h.Buckets() != nil {
 		t.Error("nil histogram recorded an observation")
 	}
+	c := r.Counter("x")
+	if c != nil {
+		t.Fatal("nil registry returned a live counter")
+	}
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter recorded an increment")
+	}
+}
+
+// TestCounter pins the registry-counter contract the incremental
+// detectors rely on: stable instance per name, atomic accumulation, and
+// export alongside (but independent of) the cost meter's counters.
+func TestCounter(t *testing.T) {
+	var m metrics.CostMeter
+	r := NewRegistry(&m)
+	c := r.Counter("detect.incremental_hits")
+	if c.Value() != 0 {
+		t.Fatalf("fresh counter = %d", c.Value())
+	}
+	c.Add(2)
+	c.Add(3)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("detect.incremental_hits") != c {
+		t.Fatal("re-getting a counter returned a different instance")
+	}
+	// Registry counters must not leak into the cost meter: the meter is
+	// what the incremental-vs-full equivalence tests compare exactly.
+	if snap := m.Snapshot(); len(snap) != 0 {
+		t.Fatalf("registry counter leaked into the cost meter: %v", snap)
+	}
+}
+
+// TestCounterExportMergesWithMeter pins the export surface: meter
+// counters and registry counters share the counters section, sorted by
+// name, in both formats.
+func TestCounterExportMergesWithMeter(t *testing.T) {
+	var m metrics.CostMeter
+	m.Add(metrics.CostPairCheck, 7)
+	r := NewRegistry(&m)
+	r.Counter("detect.incremental_hits").Add(11)
+	r.Counter("detect.incremental_misses").Add(4)
+
+	var prom bytes.Buffer
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE colsim_detect_incremental_hits counter\n" +
+		"colsim_detect_incremental_hits 11\n" +
+		"# TYPE colsim_detect_incremental_misses counter\n" +
+		"colsim_detect_incremental_misses 4\n" +
+		"# TYPE colsim_detector_pair_check counter\n" +
+		"colsim_detector_pair_check 7\n"
+	if prom.String() != want {
+		t.Fatalf("prometheus counter export drifted:\n got %q\nwant %q", prom.String(), want)
+	}
+
+	var out bytes.Buffer
+	if err := r.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Counters) != 3 ||
+		doc.Counters[0].Name != "detect.incremental_hits" || doc.Counters[0].Value != 11 ||
+		doc.Counters[1].Name != "detect.incremental_misses" || doc.Counters[1].Value != 4 ||
+		doc.Counters[2].Name != metrics.CostPairCheck || doc.Counters[2].Value != 7 {
+		t.Fatalf("JSON counters = %+v", doc.Counters)
+	}
 }
 
 func TestRegistryMeter(t *testing.T) {

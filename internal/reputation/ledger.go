@@ -9,6 +9,7 @@ package reputation
 
 import (
 	"fmt"
+	"slices"
 )
 
 // Ledger accumulates the ratings of one global-reputation period T for a
@@ -20,31 +21,33 @@ import (
 // of ratings n_i received from n_j during T.
 //
 // Storage is CSR-style sparse: each target row keeps its active raters in
-// an ascending adjacency list with the per-pair counts in aligned slices,
+// an ascending adjacency list with the per-pair counts in aligned columns,
 // so total memory is O(n + nnz) where nnz is the number of nonzero
 // (target, rater) pairs — never the dense n² the paper's matrix notation
 // suggests. The rating matrix is extremely sparse in the paper's traces
 // (characteristic C4: the average Amazon pair trades about once a year),
 // which is what makes population sizes around n=100,000 practical.
 //
+// Rows live in a chunked arena (see arena.go): each row is a power-of-two
+// span of four parallel int32 columns inside large shared blocks, resized
+// by moving between size classes whose spans recycle through intrusive
+// free lists. Mutation therefore allocates only when the arena grows a
+// block — never per rating and never per merged row — which is what keeps
+// Record, Merge and Subtract allocation-free in the steady state.
+//
 // Ledger is not safe for concurrent mutation; the simulation engine is
 // deterministic and single-threaded by design.
 type Ledger struct {
 	n int
 
-	// raters[target] lists, in ascending order, every rater j with
-	// N_(target,j) > 0 — the target's active-rater adjacency. Detection
-	// inner loops iterate these lists instead of scanning all n columns,
+	// rows[target] locates the target's adjacency span in the arena:
+	// ascending active raters with aligned total/pos/neg counts. Detection
+	// inner loops iterate these spans instead of scanning all n columns,
 	// which is what makes the hot path cost proportional to the number of
-	// nonzero pairs.
-	raters [][]int32
-	// cntTotal/cntPos/cntNeg are aligned with raters: cntTotal[target][k]
-	// is N_(target, raters[target][k]), and likewise for the positive and
-	// negative splits. A neutral (polarity 0) rating counts toward the
-	// total only, so neg is not derivable from total-pos.
-	cntTotal [][]int32
-	cntPos   [][]int32
-	cntNeg   [][]int32
+	// nonzero pairs. A neutral (polarity 0) rating counts toward the total
+	// only, so neg is not derivable from total-pos.
+	rows []rowRef
+	ar   arena
 
 	recvTotal []int64 // N_i per target
 	recvPos   []int64
@@ -53,9 +56,13 @@ type Ledger struct {
 
 	// dirty/dirtyList track which target rows changed since the last
 	// ClearDirty — the deterministic dirty set incremental detection keys
-	// its per-pair memoization on (see DirtyTargets).
+	// its candidate maintenance on (see DirtyTargets). rowGen counts every
+	// mutation of a row, monotonically and independently of ClearDirty —
+	// the per-target generation incremental detection keys its memoized
+	// pair screens on (see RowGen).
 	dirty     []bool
 	dirtyList []int32
+	rowGen    []uint64
 }
 
 // NewLedger creates an empty ledger for n nodes. It panics if n <= 0.
@@ -67,20 +74,29 @@ func NewLedger(n int) *Ledger {
 	}
 	return &Ledger{
 		n:         n,
-		raters:    make([][]int32, n),
-		cntTotal:  make([][]int32, n),
-		cntPos:    make([][]int32, n),
-		cntNeg:    make([][]int32, n),
+		rows:      make([]rowRef, n),
+		ar:        arena{bumpBlk: -1},
 		recvTotal: make([]int64, n),
 		recvPos:   make([]int64, n),
 		recvNeg:   make([]int64, n),
 		sentTotal: make([]int64, n),
 		dirty:     make([]bool, n),
+		rowGen:    make([]uint64, n),
 	}
 }
 
 // Size returns the node population the ledger covers.
 func (l *Ledger) Size() int { return l.n }
+
+// row returns the four live column views of target's adjacency span (nil
+// for an empty row).
+func (l *Ledger) row(target int) (rs, tot, pos, neg []int32) {
+	r := l.rows[target]
+	if r.class == 0 {
+		return nil, nil, nil, nil
+	}
+	return l.ar.spanViews(r, r.n)
+}
 
 // Record stores one rating of polarity -1, 0 or +1 from rater about target.
 // It panics on out-of-range indices, self-ratings, or invalid polarity,
@@ -97,19 +113,21 @@ func (l *Ledger) Record(rater, target, polarity int) {
 	if polarity < -1 || polarity > 1 {
 		panic(fmt.Sprintf("reputation: polarity %d, want -1, 0 or 1", polarity))
 	}
-	idx, found := findRater(l.raters[target], int32(rater))
+	rs, tot, pos, neg := l.row(target)
+	idx, found := findRater(rs, int32(rater))
 	if !found {
 		l.insertRaterAt(target, idx, int32(rater))
+		_, tot, pos, neg = l.row(target)
 	}
-	l.cntTotal[target][idx]++
+	tot[idx]++
 	l.recvTotal[target]++
 	l.sentTotal[rater]++
 	switch polarity {
 	case 1:
-		l.cntPos[target][idx]++
+		pos[idx]++
 		l.recvPos[target]++
 	case -1:
-		l.cntNeg[target][idx]++
+		neg[idx]++
 		l.recvNeg[target]++
 	}
 	l.markDirty(target)
@@ -131,25 +149,37 @@ func findRater(rs []int32, rater int32) (int, bool) {
 }
 
 // insertRaterAt adds rater to target's adjacency at position idx, keeping
-// all four aligned slices in ascending-rater order with zero counts. Lists
-// stay short on sparse workloads, so the shifting insert is cheap.
+// all four aligned columns in ascending-rater order with zero counts.
+// Lists stay short on sparse workloads, so the shifting insert is cheap; a
+// full span moves to the next size class through the arena free lists, so
+// growth allocates nothing once the arena blocks exist.
 func (l *Ledger) insertRaterAt(target, idx int, rater int32) {
-	l.raters[target] = insert32(l.raters[target], idx, rater)
-	l.cntTotal[target] = insert32(l.cntTotal[target], idx, 0)
-	l.cntPos[target] = insert32(l.cntPos[target], idx, 0)
-	l.cntNeg[target] = insert32(l.cntNeg[target], idx, 0)
+	r := &l.rows[target]
+	switch {
+	case r.class == 0:
+		r.blk, r.off = l.ar.alloc(arenaMinClass)
+		r.class = arenaMinClass
+	case r.n == rowCap(r.class):
+		l.growRow(r)
+	}
+	n := int(r.n)
+	rs, tot, pos, neg := l.ar.spanViews(*r, r.n+1)
+	copy(rs[idx+1:], rs[idx:n])
+	copy(tot[idx+1:], tot[idx:n])
+	copy(pos[idx+1:], pos[idx:n])
+	copy(neg[idx+1:], neg[idx:n])
+	rs[idx], tot[idx], pos[idx], neg[idx] = rater, 0, 0, 0
+	r.n++
 }
 
-// insert32 inserts v at position i, shifting the tail right.
-func insert32(xs []int32, i int, v int32) []int32 {
-	// This append is the ledger-build allocation storm BENCH_detect.json
-	// measures (~1.46M allocs building the n=100k ledger): every first
-	// rating of a (target, rater) pair may grow four row slices. The
-	// ROADMAP's chunked/arena row storage is the planned fix.
-	xs = append(xs, 0) //colsimlint:ignore hotalloc row growth on first rating of a pair; retired by the ROADMAP arena row storage
-	copy(xs[i+1:], xs[i:])
-	xs[i] = v
-	return xs
+// growRow moves a full row span to the next size class, recycling the old
+// span through its class free list.
+func (l *Ledger) growRow(r *rowRef) {
+	class := r.class + 1
+	blk, off := l.ar.alloc(class)
+	l.ar.copySpan(blk, off, r.blk, r.off, r.n)
+	l.ar.freeSpan(r.blk, r.off, r.class)
+	r.blk, r.off, r.class = blk, off, class
 }
 
 // RatersOf returns the ascending indices of every rater that has rated
@@ -157,7 +187,8 @@ func insert32(xs []int32, i int, v int32) []int32 {
 // > 0. The returned slice is a live view into the ledger — callers must
 // not modify it, and it is invalidated by the next Record, Merge or Reset.
 func (l *Ledger) RatersOf(target int) []int32 {
-	return l.raters[target]
+	rs, _, _, _ := l.row(target)
+	return rs
 }
 
 // PairCounts is one target row's adjacency with its aligned per-pair
@@ -175,19 +206,16 @@ type PairCounts struct {
 // pass as the adjacency with no per-pair lookup. Live view, same
 // invalidation rules as RatersOf.
 func (l *Ledger) PairCountsOf(target int) PairCounts {
-	return PairCounts{
-		Raters: l.raters[target],
-		Total:  l.cntTotal[target],
-		Pos:    l.cntPos[target],
-		Neg:    l.cntNeg[target],
-	}
+	rs, tot, pos, neg := l.row(target)
+	return PairCounts{Raters: rs, Total: tot, Pos: pos, Neg: neg}
 }
 
 // DirtyTargets returns, ascending, every target whose received-rating row
-// changed (Record, Merge or Reset) since the last ClearDirty — or since
-// creation. The set depends only on the sequence of mutations, never on
-// map order or timing, so passing it to the incremental detectors keeps
-// seeded runs deterministic. The returned slice is freshly allocated.
+// changed (Record, Merge, Subtract or Reset) since the last ClearDirty —
+// or since creation. The set depends only on the sequence of mutations,
+// never on map order or timing, so passing it to the incremental detectors
+// keeps seeded runs deterministic. The returned slice is freshly
+// allocated.
 func (l *Ledger) DirtyTargets() []int {
 	if len(l.dirtyList) == 0 {
 		return nil
@@ -196,12 +224,17 @@ func (l *Ledger) DirtyTargets() []int {
 	for i, t := range l.dirtyList {
 		out[i] = int(t)
 	}
-	sortInts(out)
+	slices.Sort(out)
 	return out
 }
 
+// DirtyCount returns how many target rows are currently dirty — the size
+// of the DirtyTargets set without paying for its allocation and sort.
+func (l *Ledger) DirtyCount() int { return len(l.dirtyList) }
+
 // ClearDirty empties the dirty-target set. Callers snapshot DirtyTargets,
-// feed it to incremental detection, then clear.
+// feed it to incremental detection, then clear. Row generations are not
+// affected: they advance monotonically for the life of the ledger.
 func (l *Ledger) ClearDirty() {
 	for _, t := range l.dirtyList {
 		l.dirty[t] = false
@@ -209,34 +242,36 @@ func (l *Ledger) ClearDirty() {
 	l.dirtyList = l.dirtyList[:0]
 }
 
+// RowGen returns target's row generation: a counter advanced by every
+// mutation that touches the row (Record, Merge, Subtract, Reset),
+// independent of ClearDirty. Two reads returning the same value bracket a
+// window in which every row-derived statistic — pair counts, receive
+// totals, the summation score — was unchanged, which is what lets the
+// incremental detectors replay memoized pair screens across in-place
+// ledger mutations instead of keying on ledger identity.
+func (l *Ledger) RowGen(target int) uint64 { return l.rowGen[target] }
+
 func (l *Ledger) markDirty(target int) {
+	l.rowGen[target]++
 	if !l.dirty[target] {
 		l.dirty[target] = true
 		l.dirtyList = append(l.dirtyList, int32(target)) //colsimlint:ignore hotalloc grows once per newly-dirty target and is truncated in place by ClearDirty, so steady state re-uses the backing array
 	}
 }
 
-// sortInts is an allocation-free insertion sort; dirty lists are short
-// (bounded by the targets touched in one period).
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
-
-// Reset clears the ledger for a new period T. Cost is O(n): per-target
-// slices are truncated in place, keeping their storage for reuse.
+// Reset clears the ledger for a new period T. Cost is O(n): every row
+// span returns to its arena free list, so the next period's rows recycle
+// the same chunks — the sharded ingest deltas and the window ring rely on
+// this to stay allocation-free across batches.
 func (l *Ledger) Reset() {
-	for i := range l.raters {
-		if len(l.raters[i]) > 0 {
-			l.markDirty(i)
+	for t := range l.rows {
+		r := &l.rows[t]
+		if r.class == 0 {
+			continue
 		}
-		l.raters[i] = l.raters[i][:0]
-		l.cntTotal[i] = l.cntTotal[i][:0]
-		l.cntPos[i] = l.cntPos[i][:0]
-		l.cntNeg[i] = l.cntNeg[i][:0]
+		l.markDirty(t)
+		l.ar.freeSpan(r.blk, r.off, r.class)
+		*r = rowRef{}
 	}
 	clearInt64(l.recvTotal)
 	clearInt64(l.recvPos)
@@ -268,24 +303,27 @@ func (l *Ledger) OutgoingTotal(rater int) int { return int(l.sentTotal[rater]) }
 // Random access binary-searches the row adjacency; loops that walk a whole
 // row should use PairCountsOf instead.
 func (l *Ledger) PairTotal(target, rater int) int {
-	if idx, found := findRater(l.raters[target], int32(rater)); found {
-		return int(l.cntTotal[target][idx])
+	rs, tot, _, _ := l.row(target)
+	if idx, found := findRater(rs, int32(rater)); found {
+		return int(tot[idx])
 	}
 	return 0
 }
 
 // PairPositive returns N+_(i,j).
 func (l *Ledger) PairPositive(target, rater int) int {
-	if idx, found := findRater(l.raters[target], int32(rater)); found {
-		return int(l.cntPos[target][idx])
+	rs, _, pos, _ := l.row(target)
+	if idx, found := findRater(rs, int32(rater)); found {
+		return int(pos[idx])
 	}
 	return 0
 }
 
 // PairNegative returns N-_(i,j).
 func (l *Ledger) PairNegative(target, rater int) int {
-	if idx, found := findRater(l.raters[target], int32(rater)); found {
-		return int(l.cntNeg[target][idx])
+	rs, _, _, neg := l.row(target)
+	if idx, found := findRater(rs, int32(rater)); found {
+		return int(neg[idx])
 	}
 	return 0
 }
@@ -312,20 +350,31 @@ func (l *Ledger) SummationScore(target int) int {
 // minus negative ratings i gave j. This is the EigenTrust local trust
 // input before normalization.
 func (l *Ledger) LocalTrust(rater, target int) int {
-	if idx, found := findRater(l.raters[target], int32(rater)); found {
-		return int(l.cntPos[target][idx] - l.cntNeg[target][idx])
+	rs, _, pos, neg := l.row(target)
+	if idx, found := findRater(rs, int32(rater)); found {
+		return int(pos[idx] - neg[idx])
 	}
 	return 0
 }
 
-// Clone returns a deep copy of the ledger, including its dirty set.
+// Clone returns a deep copy of the ledger, including its dirty set and row
+// generations. The clone's arena is rebuilt compactly: each row lands in
+// the smallest span class that holds it.
 func (l *Ledger) Clone() *Ledger {
 	c := NewLedger(l.n)
-	for i := range l.raters {
-		c.raters[i] = append([]int32(nil), l.raters[i]...)
-		c.cntTotal[i] = append([]int32(nil), l.cntTotal[i]...)
-		c.cntPos[i] = append([]int32(nil), l.cntPos[i]...)
-		c.cntNeg[i] = append([]int32(nil), l.cntNeg[i]...)
+	for t := 0; t < l.n; t++ {
+		rs, tot, pos, neg := l.row(t)
+		if len(rs) == 0 {
+			continue
+		}
+		class := classFor(len(rs))
+		blk, off := c.ar.alloc(class)
+		c.rows[t] = rowRef{blk: blk, off: off, n: int32(len(rs)), class: class}
+		dr, dt, dp, dn := c.ar.spanViews(c.rows[t], int32(len(rs)))
+		copy(dr, rs)
+		copy(dt, tot)
+		copy(dp, pos)
+		copy(dn, neg)
 	}
 	copy(c.recvTotal, l.recvTotal)
 	copy(c.recvPos, l.recvPos)
@@ -333,6 +382,7 @@ func (l *Ledger) Clone() *Ledger {
 	copy(c.sentTotal, l.sentTotal)
 	copy(c.dirty, l.dirty)
 	c.dirtyList = append([]int32(nil), l.dirtyList...)
+	copy(c.rowGen, l.rowGen)
 	return c
 }
 
@@ -346,7 +396,7 @@ func (l *Ledger) Merge(other *Ledger) error {
 		return fmt.Errorf("reputation: merging ledger of size %d into size %d", other.n, l.n) //colsimlint:ignore hotalloc size-mismatch guard; allocates only on caller error, never in a valid merge
 	}
 	for t := 0; t < l.n; t++ {
-		if len(other.raters[t]) == 0 {
+		if other.rows[t].n == 0 {
 			continue
 		}
 		l.mergeRow(t, other)
@@ -379,7 +429,7 @@ func (l *Ledger) Subtract(other *Ledger) error {
 		return fmt.Errorf("reputation: subtracting ledger of size %d from size %d", other.n, l.n) //colsimlint:ignore hotalloc size-mismatch guard; allocates only on caller error, never in a valid subtract
 	}
 	for t := 0; t < l.n; t++ {
-		if len(other.raters[t]) == 0 {
+		if other.rows[t].n == 0 {
 			continue
 		}
 		l.subtractRow(t, other)
@@ -402,16 +452,18 @@ func (l *Ledger) Subtract(other *Ledger) error {
 
 // subtractRow removes other's row for target t from l's, compacting the
 // aligned adjacency in place and keeping it ascending. Every rater of
-// other's row must appear in l's with counts at least as large.
+// other's row must appear in l's with counts at least as large. A row
+// emptied by the subtraction releases its span back to the arena.
 func (l *Ledger) subtractRow(t int, other *Ledger) {
-	a, b := l.raters[t], other.raters[t]
+	a, at, ap, an := l.row(t)
+	b, bt, bp, bn := other.row(t)
 	out, j := 0, 0
 	for i := 0; i < len(a); i++ {
-		tot, pos, neg := l.cntTotal[t][i], l.cntPos[t][i], l.cntNeg[t][i]
+		tot, pos, neg := at[i], ap[i], an[i]
 		if j < len(b) && b[j] == a[i] {
-			tot -= other.cntTotal[t][j]
-			pos -= other.cntPos[t][j]
-			neg -= other.cntNeg[t][j]
+			tot -= bt[j]
+			pos -= bp[j]
+			neg -= bn[j]
 			j++
 		}
 		if tot < 0 || pos < 0 || neg < 0 {
@@ -427,76 +479,92 @@ func (l *Ledger) subtractRow(t int, other *Ledger) {
 			continue
 		}
 		a[out] = a[i]
-		l.cntTotal[t][out] = tot
-		l.cntPos[t][out] = pos
-		l.cntNeg[t][out] = neg
+		at[out] = tot
+		ap[out] = pos
+		an[out] = neg
 		out++
 	}
 	if j < len(b) {
 		panic(fmt.Sprintf("reputation: Subtract of rater %d absent from target %d's row", b[j], t))
 	}
-	l.raters[t] = a[:out]
-	l.cntTotal[t] = l.cntTotal[t][:out]
-	l.cntPos[t] = l.cntPos[t][:out]
-	l.cntNeg[t] = l.cntNeg[t][:out]
+	r := &l.rows[t]
+	r.n = int32(out)
+	if out == 0 {
+		l.ar.freeSpan(r.blk, r.off, r.class)
+		*r = rowRef{}
+	}
 }
 
 // mergeRow folds other's row for target t into l's, keeping the aligned
-// adjacency ascending.
+// adjacency ascending. A fresh destination row copies into a recycled span
+// of the right class; a union that fits the existing span merges backward
+// in place; only a union outgrowing the span moves the row to a larger
+// class — and the outgrown span goes straight back on its free list, so no
+// path here allocates once the arena is warm.
 func (l *Ledger) mergeRow(t int, other *Ledger) {
-	b := other.raters[t]
-	a := l.raters[t]
+	b, bt, bp, bn := other.row(t)
+	a, at, ap, an := l.row(t)
 	if len(a) == 0 {
-		// Fresh row: copy other's, reusing any truncated capacity left by
-		// Reset; a shard-merge steady state therefore re-uses storage.
-		l.raters[t] = append(a, b...)                               //colsimlint:ignore hotalloc grows only when the row outgrows capacity retained by Reset; ROADMAP arena row storage retires it
-		l.cntTotal[t] = append(l.cntTotal[t], other.cntTotal[t]...) //colsimlint:ignore hotalloc same retained-capacity reuse as the raters row above
-		l.cntPos[t] = append(l.cntPos[t], other.cntPos[t]...)       //colsimlint:ignore hotalloc same retained-capacity reuse as the raters row above
-		l.cntNeg[t] = append(l.cntNeg[t], other.cntNeg[t]...)       //colsimlint:ignore hotalloc same retained-capacity reuse as the raters row above
+		class := classFor(len(b))
+		r := &l.rows[t]
+		r.blk, r.off = l.ar.alloc(class)
+		r.n, r.class = int32(len(b)), class
+		dr, dt, dp, dn := l.ar.spanViews(*r, r.n)
+		copy(dr, b)
+		copy(dt, bt)
+		copy(dp, bp)
+		copy(dn, bn)
 		return
 	}
-	// The four merged-row buffers below are the other face of the ledger
-	// allocation storm: a disjoint-union merge allocates fresh rows. The
-	// ROADMAP's chunked/arena row storage is the planned fix.
-	mr := make([]int32, 0, len(a)+len(b)) //colsimlint:ignore hotalloc merged row must not alias either input row; sized exactly, freed when the old row is dropped
-	mt := make([]int32, 0, len(a)+len(b)) //colsimlint:ignore hotalloc aligned with mr above
-	mp := make([]int32, 0, len(a)+len(b)) //colsimlint:ignore hotalloc aligned with mr above
-	mn := make([]int32, 0, len(a)+len(b)) //colsimlint:ignore hotalloc aligned with mr above
-	i, j := 0, 0
+	u := unionLen(a, b)
+	r := &l.rows[t]
+	if int32(u) > rowCap(r.class) {
+		class := classFor(u)
+		blk, off := l.ar.alloc(class)
+		moved := rowRef{blk: blk, off: off, n: r.n, class: class}
+		l.ar.copySpan(blk, off, r.blk, r.off, r.n)
+		l.ar.freeSpan(r.blk, r.off, r.class)
+		*r = moved
+		a, at, ap, an = l.row(t)
+	}
+	// Backward in-place merge: the write cursor never passes an unread
+	// element of a (w >= i always holds because the union is at least as
+	// long as a's unread prefix), so the row merges without scratch
+	// storage even when a and b alias.
+	mr, mt, mp, mn := l.ar.spanViews(*r, int32(u))
+	i, j, w := len(a)-1, len(b)-1, u-1
+	for j >= 0 {
+		switch {
+		case i >= 0 && a[i] > b[j]:
+			mr[w], mt[w], mp[w], mn[w] = a[i], at[i], ap[i], an[i]
+			i--
+		case i >= 0 && a[i] == b[j]:
+			mr[w], mt[w], mp[w], mn[w] = a[i], at[i]+bt[j], ap[i]+bp[j], an[i]+bn[j]
+			i--
+			j--
+		default:
+			mr[w], mt[w], mp[w], mn[w] = b[j], bt[j], bp[j], bn[j]
+			j--
+		}
+		w--
+	}
+	r.n = int32(u)
+}
+
+// unionLen counts the distinct raters of two ascending adjacency lists.
+func unionLen(a, b []int32) int {
+	i, j, u := 0, 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] < b[j]:
-			mr = append(mr, a[i])
-			mt = append(mt, l.cntTotal[t][i])
-			mp = append(mp, l.cntPos[t][i])
-			mn = append(mn, l.cntNeg[t][i])
 			i++
 		case a[i] > b[j]:
-			mr = append(mr, b[j])
-			mt = append(mt, other.cntTotal[t][j])
-			mp = append(mp, other.cntPos[t][j])
-			mn = append(mn, other.cntNeg[t][j])
 			j++
 		default:
-			mr = append(mr, a[i])
-			mt = append(mt, l.cntTotal[t][i]+other.cntTotal[t][j])
-			mp = append(mp, l.cntPos[t][i]+other.cntPos[t][j])
-			mn = append(mn, l.cntNeg[t][i]+other.cntNeg[t][j])
 			i++
 			j++
 		}
+		u++
 	}
-	for ; i < len(a); i++ {
-		mr = append(mr, a[i])
-		mt = append(mt, l.cntTotal[t][i])
-		mp = append(mp, l.cntPos[t][i])
-		mn = append(mn, l.cntNeg[t][i])
-	}
-	for ; j < len(b); j++ {
-		mr = append(mr, b[j])
-		mt = append(mt, other.cntTotal[t][j])
-		mp = append(mp, other.cntPos[t][j])
-		mn = append(mn, other.cntNeg[t][j])
-	}
-	l.raters[t], l.cntTotal[t], l.cntPos[t], l.cntNeg[t] = mr, mt, mp, mn
+	return u + (len(a) - i) + (len(b) - j)
 }

@@ -70,6 +70,31 @@ func (d *denseLedger) merge(o *denseLedger) {
 	}
 }
 
+func (d *denseLedger) subtract(o *denseLedger) {
+	for t := 0; t < d.n; t++ {
+		rowTouched := false
+		for r := 0; r < d.n; r++ {
+			at := t*d.n + r
+			if o.total[at] == 0 {
+				continue
+			}
+			d.total[at] -= o.total[at]
+			d.pos[at] -= o.pos[at]
+			d.neg[at] -= o.neg[at]
+			rowTouched = true
+		}
+		if rowTouched {
+			d.recvTotal[t] -= o.recvTotal[t]
+			d.recvPos[t] -= o.recvPos[t]
+			d.recvNeg[t] -= o.recvNeg[t]
+			d.dirty[t] = true
+		}
+	}
+	for r := 0; r < d.n; r++ {
+		d.sentTotal[r] -= o.sentTotal[r]
+	}
+}
+
 func (d *denseLedger) reset() {
 	for t := 0; t < d.n; t++ {
 		if d.recvTotal[t] > 0 {
@@ -192,10 +217,13 @@ func checkAgainstDense(t *testing.T, step string, l *Ledger, d *denseLedger) {
 }
 
 // TestLedgerMatchesDenseReference drives the sparse ledger and the dense
-// reference through identical randomized Record/Merge/Clone/Reset/
-// ClearDirty workloads and checks every accessor (Pair*, receive/sent
-// totals, LocalTrust, Others*, PairCountsOf alignment, dirty set) stays
-// equivalent after each step.
+// reference through identical randomized Record/Merge/Subtract/Clone/
+// Reset/ClearDirty workloads and checks every accessor (Pair*,
+// receive/sent totals, LocalTrust, Others*, PairCountsOf alignment,
+// dirty set) stays equivalent after each step. Merged side deltas are
+// kept and later subtracted — the windowed eviction pattern — so span
+// shrinking, row removal and arena free-list recycling all run under the
+// dense cross-check.
 func TestLedgerMatchesDenseReference(t *testing.T) {
 	const (
 		n     = 13
@@ -204,10 +232,15 @@ func TestLedgerMatchesDenseReference(t *testing.T) {
 	r := rng.New(99).Child("ledger-dense-equiv")
 	l, d := NewLedger(n), newDenseLedger(n)
 	side, sideD := NewLedger(n), newDenseLedger(n)
+	// Deltas merged into main and not yet subtracted back out, oldest
+	// first — the same discipline WindowLedger's ring enforces, which
+	// keeps every Subtract an exact inverse of a prior Merge.
+	var pending []*Ledger
+	var pendingD []*denseLedger
 
 	for step := 0; step < steps; step++ {
 		switch op := r.Intn(100); {
-		case op < 62: // Record into the main pair
+		case op < 58: // Record into the main pair
 			rater, target := r.Intn(n), r.Intn(n)
 			if rater == target {
 				continue
@@ -215,7 +248,7 @@ func TestLedgerMatchesDenseReference(t *testing.T) {
 			p := r.IntRange(-1, 1)
 			l.Record(rater, target, p)
 			d.record(rater, target, p)
-		case op < 80: // Record into the side pair
+		case op < 75: // Record into the side pair
 			rater, target := r.Intn(n), r.Intn(n)
 			if rater == target {
 				continue
@@ -223,14 +256,25 @@ func TestLedgerMatchesDenseReference(t *testing.T) {
 			p := r.IntRange(-1, 1)
 			side.Record(rater, target, p)
 			sideD.record(rater, target, p)
-		case op < 88: // Merge side into main, reset side
+		case op < 83: // Merge side into main, remember the delta, reset side
 			if err := l.Merge(side); err != nil {
 				t.Fatal(err)
 			}
 			d.merge(sideD)
+			pending = append(pending, side.Clone())
+			pendingD = append(pendingD, sideD.clone())
 			side.Reset()
 			sideD.reset()
 			checkAgainstDense(t, "side after reset", side, sideD)
+		case op < 89: // Subtract the oldest merged delta (window eviction)
+			if len(pending) == 0 {
+				continue
+			}
+			if err := l.Subtract(pending[0]); err != nil {
+				t.Fatal(err)
+			}
+			d.subtract(pendingD[0])
+			pending, pendingD = pending[1:], pendingD[1:]
 		case op < 93: // Clone and verify independence
 			cl, cd := l.Clone(), d.clone()
 			checkAgainstDense(t, "clone", cl, cd)
@@ -244,8 +288,51 @@ func TestLedgerMatchesDenseReference(t *testing.T) {
 		default:
 			l.Reset()
 			d.reset()
+			// Old deltas are no longer subsets of the emptied main ledger.
+			pending, pendingD = nil, nil
 		}
 		checkAgainstDense(t, "main", l, d)
+	}
+}
+
+// TestLedgerResetReusesArena pins the free-list contract the sharded
+// ingest recycling path depends on: Reset returns every row span to the
+// arena's free lists, so refilling the ledger — even with a different
+// row shape — reuses recycled spans instead of growing new blocks. After
+// one warm-up fill the Reset+refill cycle must be allocation-free.
+func TestLedgerResetReusesArena(t *testing.T) {
+	const n = 64
+	r := rng.New(41).Child("reset-reuse")
+	type rec struct{ rater, target, pol int }
+	batches := make([][]rec, 4)
+	for b := range batches {
+		count := 600 + r.Intn(400)
+		for k := 0; k < count; k++ {
+			rater, target := r.Intn(n), r.Intn(n)
+			if rater == target {
+				continue
+			}
+			batches[b] = append(batches[b], rec{rater, target, r.IntRange(-1, 1)})
+		}
+	}
+	l := NewLedger(n)
+	fill := func(b int) {
+		l.Reset()
+		l.ClearDirty()
+		for _, rc := range batches[b] {
+			l.Record(rc.rater, rc.target, rc.pol)
+		}
+	}
+	for b := range batches {
+		fill(b) // warm up: grow the arena to the largest shape once
+	}
+	idx := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		fill(idx % len(batches))
+		idx++
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Reset+refill allocates %v objects/op, want 0", allocs)
 	}
 }
 

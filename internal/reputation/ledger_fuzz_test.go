@@ -4,15 +4,22 @@ import "testing"
 
 // FuzzLedgerRecord feeds arbitrary byte-encoded rating sequences to the
 // sparse ledger and cross-checks every touched row against the dense
-// reference, so the fuzzer explores adjacency insert/merge orders the
-// seeded property tests might miss. Each input byte triple encodes
-// (rater, target, polarity); invalid triples assert the panic contract.
+// reference, so the fuzzer explores adjacency insert/merge orders and
+// arena span-growth patterns the seeded property tests might miss. Each
+// input byte triple encodes (rater, target, polarity); invalid triples
+// assert the panic contract. Every input additionally round-trips a
+// merge+subtract of a sub-delta (the windowed eviction pattern, freeing
+// and reallocating arena spans) and a Reset+replay (recycling every span
+// through the free lists), each of which must land back on the dense
+// reference exactly.
 func FuzzLedgerRecord(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 1, 0, 0, 3, 2, 1})
 	f.Add([]byte{5, 1, 2, 4, 1, 2, 3, 1, 2, 2, 1, 2})
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const n = 8
+		type rec struct{ rater, target, polarity int }
+		var recs []rec
 		l, d := NewLedger(n), newDenseLedger(n)
 		for len(data) >= 3 {
 			rater := int(data[0]) % n
@@ -33,6 +40,7 @@ func FuzzLedgerRecord(f *testing.F) {
 			}
 			l.Record(rater, target, polarity)
 			d.record(rater, target, polarity)
+			recs = append(recs, rec{rater, target, polarity})
 		}
 		checkAgainstDense(t, "fuzz", l, d)
 		// A merge into a fresh ledger must reproduce the same counts.
@@ -41,5 +49,29 @@ func FuzzLedgerRecord(f *testing.F) {
 			t.Fatal(err)
 		}
 		checkAgainstDense(t, "fuzz-merge", m, d)
+		// Merge in a delta built from every other rating, then subtract it
+		// back out: Subtract must be Merge's exact inverse while arena rows
+		// grow, shrink, and free mid-life.
+		delta := NewLedger(n)
+		for i, rc := range recs {
+			if i%2 == 0 {
+				delta.Record(rc.rater, rc.target, rc.polarity)
+			}
+		}
+		if err := l.Merge(delta); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Subtract(delta); err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstDense(t, "fuzz-subtract", l, d)
+		// Reset recycles every span through the free lists; replaying the
+		// same stream must reconstruct the identical observable state.
+		l.Reset()
+		l.ClearDirty()
+		for _, rc := range recs {
+			l.Record(rc.rater, rc.target, rc.polarity)
+		}
+		checkAgainstDense(t, "fuzz-replay", l, d)
 	})
 }

@@ -194,6 +194,14 @@ type Config struct {
 	// and >= 1 differ only by the ingest_audit trace events the pipeline
 	// emits).
 	IngestShards int
+	// FullDetect forces the pairwise detectors onto the from-scratch
+	// Detect path every cycle, disabling the incremental memoization both
+	// the cumulative and windowed paths otherwise use. The incremental
+	// contract guarantees identical pairs, meter charges and audit events
+	// either way — this knob exists to measure that claim (the A/B
+	// equivalence tests and the -full-detect CLI flags run both sides) and
+	// as an escape hatch, not because outputs differ.
+	FullDetect bool
 	// Meter, if non-nil, accumulates operation costs across the run.
 	Meter *metrics.CostMeter
 	// OnCycle, if non-nil, observes the simulation after every cycle's

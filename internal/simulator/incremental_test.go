@@ -1,60 +1,141 @@
 package simulator
 
 import (
+	"bytes"
 	"math"
 	"testing"
+
+	"github.com/p2psim/collusion/internal/obs"
 )
 
+// requireRunsMatch compares the detection observables of two runs: pairs
+// with evidence, per-node flags, detection cycles, and bit-identical
+// scores (the strongest equality claim and lint-clean).
+func requireRunsMatch(t *testing.T, name string, got, want *Result) {
+	t.Helper()
+	if len(got.DetectedPairs) != len(want.DetectedPairs) {
+		t.Fatalf("%s: incremental found %d pairs, full %d\ninc  %+v\nfull %+v",
+			name, len(got.DetectedPairs), len(want.DetectedPairs), got.DetectedPairs, want.DetectedPairs)
+	}
+	for i := range want.DetectedPairs {
+		if got.DetectedPairs[i] != want.DetectedPairs[i] {
+			t.Fatalf("%s: pair %d = %+v, full detection %+v", name, i, got.DetectedPairs[i], want.DetectedPairs[i])
+		}
+	}
+	for i := range want.Flagged {
+		if got.Flagged[i] != want.Flagged[i] {
+			t.Fatalf("%s: Flagged[%d] = %v, full detection %v", name, i, got.Flagged[i], want.Flagged[i])
+		}
+		if got.DetectionCycle[i] != want.DetectionCycle[i] {
+			t.Fatalf("%s: DetectionCycle[%d] = %d, full detection %d",
+				name, i, got.DetectionCycle[i], want.DetectionCycle[i])
+		}
+		if math.Float64bits(got.Scores[i]) != math.Float64bits(want.Scores[i]) {
+			t.Fatalf("%s: Scores[%d] = %v, full detection %v", name, i, got.Scores[i], want.Scores[i])
+		}
+	}
+}
+
 // TestIncrementalRunMatchesFullDetection pins the simulator's incremental
-// wiring end to end. A run on the cumulative ledger takes the
-// DetectIncremental fast path; the same seeded run with WindowCycles
-// covering every cycle takes the full-Detect path over a freshly merged
-// window that contains the identical ratings. Scores, flags, detection
-// cycles and evidence must match exactly — any divergence means the
-// memoized screens changed behavior.
+// wiring end to end. By default both the cumulative path (dirty rows from
+// Ledger.DirtyTargets) and the windowed path (dirty rows from
+// WindowLedger.Roll) take DetectIncremental; the same seeded run with
+// FullDetect set re-screens every pair from scratch each cycle. Scores,
+// flags, detection cycles and evidence must match exactly — any
+// divergence means the memoized screens changed behavior.
 func TestIncrementalRunMatchesFullDetection(t *testing.T) {
 	for _, det := range []DetectorKind{DetectorBasic, DetectorOptimized} {
+		for _, window := range []int{0, 4} {
+			cfg := DefaultConfig()
+			cfg.ColluderGoodProb = 0.2
+			cfg.Detector = det
+			cfg.WindowCycles = window
+
+			inc, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			full := cfg
+			full.FullDetect = true
+			want, err := Run(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			name := det.String()
+			if window > 0 {
+				name += " windowed"
+			}
+			requireRunsMatch(t, name, inc, want)
+		}
+	}
+}
+
+// TestIncrementalRunTraceMatchesFullDetection extends the equivalence to
+// the audit trail: with tracing enabled the memo cache is bypassed (every
+// high pair is re-examined and audited in full-pass order), so a windowed
+// incremental run's trace must be byte-identical to the FullDetect run's.
+func TestIncrementalRunTraceMatchesFullDetection(t *testing.T) {
+	traced := func(fullDetect bool) (*Result, []byte) {
+		var sink obs.BufferSink
+		cfg := tracedConfig()
+		cfg.WindowCycles = 4
+		cfg.FullDetect = fullDetect
+		cfg.Tracer = obs.NewTracer(&sink)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, sink.Bytes()
+	}
+	inc, incTrace := traced(false)
+	want, wantTrace := traced(true)
+	if len(inc.DetectedPairs) == 0 {
+		t.Fatal("windowed traced run detected no pairs; the test would be vacuous")
+	}
+	requireRunsMatch(t, "windowed traced", inc, want)
+	if !bytes.Equal(incTrace, wantTrace) {
+		t.Fatal("windowed incremental trace differs from the full-detection trace")
+	}
+}
+
+// TestIncrementalHitMissCounters pins the memo telemetry: an incremental
+// run with a registry attached records cache hits (unchanged pairs
+// replayed) and misses (dirty pairs re-screened) on the cumulative path,
+// misses plus the per-cycle dirty-row histogram on the windowed path
+// (windowed screens concentrate on freshly-rated rows, so hits are rare
+// there and not asserted), and a FullDetect run records neither counter.
+func TestIncrementalHitMissCounters(t *testing.T) {
+	counters := func(fullDetect bool, window int) (hits, misses int64, reg *obs.Registry) {
+		reg = obs.NewRegistry(nil)
+		// The default population is quiet enough that screened pairs
+		// regularly survive a cycle untouched, so the cache actually hits;
+		// tracedConfig's flood would dirty every screened row every cycle.
 		cfg := DefaultConfig()
 		cfg.ColluderGoodProb = 0.2
-		cfg.Detector = det
-
-		inc, err := Run(cfg)
-		if err != nil {
+		cfg.Detector = DetectorOptimized
+		cfg.WindowCycles = window
+		cfg.FullDetect = fullDetect
+		cfg.Obs = reg
+		if _, err := Run(cfg); err != nil {
 			t.Fatal(err)
 		}
-
-		full := cfg
-		// A window spanning the whole run merges to the cumulative ledger
-		// each cycle, but its Ledger value changes every cycle, which keeps
-		// the detector on the from-scratch path.
-		full.WindowCycles = cfg.SimCycles + 1
-		want, err := Run(full)
-		if err != nil {
-			t.Fatal(err)
-		}
-
-		name := det.String()
-		if len(inc.DetectedPairs) != len(want.DetectedPairs) {
-			t.Fatalf("%s: incremental found %d pairs, full %d\ninc  %+v\nfull %+v",
-				name, len(inc.DetectedPairs), len(want.DetectedPairs), inc.DetectedPairs, want.DetectedPairs)
-		}
-		for i := range want.DetectedPairs {
-			if inc.DetectedPairs[i] != want.DetectedPairs[i] {
-				t.Fatalf("%s: pair %d = %+v, full detection %+v", name, i, inc.DetectedPairs[i], want.DetectedPairs[i])
-			}
-		}
-		for i := range want.Flagged {
-			if inc.Flagged[i] != want.Flagged[i] {
-				t.Fatalf("%s: Flagged[%d] = %v, full detection %v", name, i, inc.Flagged[i], want.Flagged[i])
-			}
-			if inc.DetectionCycle[i] != want.DetectionCycle[i] {
-				t.Fatalf("%s: DetectionCycle[%d] = %d, full detection %d",
-					name, i, inc.DetectionCycle[i], want.DetectionCycle[i])
-			}
-			// Bit-identity, the strongest equality claim and lint-clean.
-			if math.Float64bits(inc.Scores[i]) != math.Float64bits(want.Scores[i]) {
-				t.Fatalf("%s: Scores[%d] = %v, full detection %v", name, i, inc.Scores[i], want.Scores[i])
-			}
-		}
+		return reg.Counter("detect.incremental_hits").Value(),
+			reg.Counter("detect.incremental_misses").Value(), reg
+	}
+	hits, misses, _ := counters(false, 0)
+	if hits == 0 || misses == 0 {
+		t.Fatalf("cumulative incremental run recorded hits=%d misses=%d, want both > 0", hits, misses)
+	}
+	_, misses, reg := counters(false, 8)
+	if misses == 0 {
+		t.Fatalf("windowed incremental run recorded no misses")
+	}
+	if h := reg.Histogram("window.dirty_rows_per_cycle"); h.Count() == 0 {
+		t.Fatal("windowed run recorded no dirty_rows_per_cycle observations")
+	}
+	if hits, misses, _ := counters(true, 8); hits != 0 || misses != 0 {
+		t.Fatalf("FullDetect run recorded hits=%d misses=%d, want 0/0", hits, misses)
 	}
 }

@@ -86,40 +86,45 @@ func TestTraceSinkFailureSurfaces(t *testing.T) {
 
 // TestAuditExplainsEveryFlaggedPair pins the audit-trail completeness
 // criterion: every pair the run reports as detected has a pair_audit
-// event in the trace with gate "flagged".
+// event in the trace with gate "flagged" — on the cumulative incremental
+// path and on the windowed incremental path (where detection runs over
+// the in-place-mutating merged window driven by Roll's dirty set) alike.
 func TestAuditExplainsEveryFlaggedPair(t *testing.T) {
-	var sink obs.BufferSink
-	cfg := tracedConfig()
-	cfg.Tracer = obs.NewTracer(&sink)
-	res, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(res.DetectedPairs) == 0 {
-		t.Fatal("run detected no pairs; the test would be vacuous")
-	}
-	type audit struct {
-		Type    string `json:"type"`
-		I       int    `json:"i"`
-		J       int    `json:"j"`
-		Flagged bool   `json:"flagged"`
-	}
-	flagged := map[[2]int]bool{}
-	for _, line := range bytes.Split(sink.Bytes(), []byte("\n")) {
-		if len(line) == 0 {
-			continue
+	for _, window := range []int{0, 4} {
+		var sink obs.BufferSink
+		cfg := tracedConfig()
+		cfg.WindowCycles = window
+		cfg.Tracer = obs.NewTracer(&sink)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
 		}
-		var a audit
-		if err := json.Unmarshal(line, &a); err != nil {
-			t.Fatalf("trace line %q: %v", line, err)
+		if len(res.DetectedPairs) == 0 {
+			t.Fatalf("window=%d: run detected no pairs; the test would be vacuous", window)
 		}
-		if a.Type == "pair_audit" && a.Flagged {
-			flagged[[2]int{a.I, a.J}] = true
+		type audit struct {
+			Type    string `json:"type"`
+			I       int    `json:"i"`
+			J       int    `json:"j"`
+			Flagged bool   `json:"flagged"`
 		}
-	}
-	for _, e := range res.DetectedPairs {
-		if !flagged[[2]int{e.I, e.J}] {
-			t.Errorf("detected pair (%d,%d) has no flagged pair_audit event", e.I, e.J)
+		flagged := map[[2]int]bool{}
+		for _, line := range bytes.Split(sink.Bytes(), []byte("\n")) {
+			if len(line) == 0 {
+				continue
+			}
+			var a audit
+			if err := json.Unmarshal(line, &a); err != nil {
+				t.Fatalf("window=%d: trace line %q: %v", window, line, err)
+			}
+			if a.Type == "pair_audit" && a.Flagged {
+				flagged[[2]int{a.I, a.J}] = true
+			}
+		}
+		for _, e := range res.DetectedPairs {
+			if !flagged[[2]int{e.I, e.J}] {
+				t.Errorf("window=%d: detected pair (%d,%d) has no flagged pair_audit event", window, e.I, e.J)
+			}
 		}
 	}
 }

@@ -88,7 +88,7 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		if s.win != nil {
-			s.win.Roll()
+			s.winDirty = s.win.Roll()
 		}
 		s.updateReputations()
 		s.detect()
@@ -119,8 +119,12 @@ type state struct {
 	r      *rng.Rand
 	ledger *reputation.Ledger
 	win    *ingest.WindowLedger // non-nil when WindowCycles > 0
-	engine reputation.Engine
-	det    core.Detector
+	// winDirty is the dirty set the most recent Roll reported: the merged
+	// window rows this cycle changed, feeding windowed incremental
+	// detection.
+	winDirty []int
+	engine   reputation.Engine
+	det      core.Detector
 
 	// ingester and batch implement the sharded intake path: when
 	// cfg.IngestShards >= 1, record() buffers into batch and flushRatings
@@ -274,11 +278,13 @@ func newState(cfg Config) (*state, error) {
 		d := core.NewBasic(cfg.thresholds())
 		d.Meter = cfg.Meter
 		d.Trace = cfg.Tracer
+		d.Obs = cfg.Obs
 		s.det = d
 	case DetectorOptimized:
 		d := core.NewOptimized(cfg.thresholds())
 		d.Meter = cfg.Meter
 		d.Trace = cfg.Tracer
+		d.Obs = cfg.Obs
 		s.det = d
 	case DetectorGroup:
 		d := core.NewGroupDetector(cfg.thresholds())
@@ -546,21 +552,28 @@ func (s *state) runDetection() {
 	}
 }
 
-// detectPairs runs the pairwise detector over the period ledger. On the
-// cumulative-ledger path the detector sees the same Ledger value every
-// cycle, so it can replay memoized per-pair screens for targets whose
-// received ratings did not change since the previous cycle — the
-// detector's contract guarantees identical pairs, meter charges, and
-// audit events. The windowed path stays on the full pass: it remains the
-// from-scratch reference the incremental contract is tested against.
+// detectPairs runs the pairwise detector over the period ledger.
+// Both ledger modes take the incremental path: the cumulative ledger is
+// the same Ledger value every cycle with its own dirty-set bookkeeping,
+// and the windowed path detects over the merged window view — also
+// instance-stable — using the dirty set the cycle's Roll reported (delta
+// rows merged in plus rows the evicted period's subtraction touched).
+// Either way the detector replays memoized per-pair screens for targets
+// whose received ratings did not change since the previous cycle; its
+// contract guarantees identical pairs, meter charges, and audit events to
+// the from-scratch pass, which cfg.FullDetect forces for A/B checks.
 func (s *state) detectPairs(period *reputation.Ledger) core.Result {
-	if inc, ok := s.det.(core.IncrementalDetector); ok && s.win == nil {
-		dirty := period.DirtyTargets()
-		res := inc.DetectIncremental(period, dirty)
-		period.ClearDirty()
-		return res
+	inc, ok := s.det.(core.IncrementalDetector)
+	if !ok || s.cfg.FullDetect {
+		return s.det.Detect(period)
 	}
-	return s.det.Detect(period)
+	if s.win != nil {
+		return inc.DetectIncremental(period, s.winDirty)
+	}
+	dirty := period.DirtyTargets()
+	res := inc.DetectIncremental(period, dirty)
+	period.ClearDirty()
+	return res
 }
 
 // flag marks a node as detected, zeroes its reputation, and records the
