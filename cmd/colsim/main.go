@@ -10,6 +10,8 @@
 //	       [-compromised] [-ring 0] [-swarm 0] [-cycles 20] [-window 0]
 //	       [-ingest-shards 0] [-full-detect] [-runs 1] [-seed 1]
 //	       [-trace trace.jsonl] [-metrics metrics.json|metrics.prom]
+//	       [-spans spans.jsonl] [-progress progress.jsonl]
+//	       [-telemetry-addr :9090] [-telemetry-linger 30s]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Examples:
@@ -19,6 +21,8 @@
 //	colsim -b 0.2 -compromised -detector optimized   # Figure 11 conditions
 //	colsim -b 0.2 -detector optimized -trace trace.jsonl  # audit every decision
 //	colsim -detector basic -metrics metrics.prom -cpuprofile cpu.pprof
+//	colsim -detector optimized -window 4 -spans spans.jsonl  # phase timeline
+//	colsim -telemetry-addr :9090 -metrics metrics.prom       # live scrape
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	collusion "github.com/p2psim/collusion"
 	"github.com/p2psim/collusion/internal/obs"
 	"github.com/p2psim/collusion/internal/obs/prof"
+	"github.com/p2psim/collusion/internal/obs/serve"
 )
 
 func main() {
@@ -45,24 +50,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("colsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		nodes       = fs.Int("nodes", 200, "network size")
-		colluders   = fs.Int("colluders", 8, "number of colluders (paired consecutively)")
-		b           = fs.Float64("b", 0.6, "colluder good-behavior probability B")
-		engine      = fs.String("engine", "eigentrust", "reputation engine: eigentrust, summation, weighted, iterative, similarity")
-		detector    = fs.String("detector", "none", "collusion detector: none, basic, optimized, group, sybil")
-		compromised = fs.Bool("compromised", false, "compromise two pretrusted nodes (Figure 7/11 scenario)")
-		ringSize    = fs.Int("ring", 0, "also plant one colluder ring of this size (>= 3)")
-		swarmSize   = fs.Int("swarm", 0, "also plant one Sybil swarm with this many fake boosters (>= 2)")
-		cycles      = fs.Int("cycles", 20, "simulation cycles")
-		window      = fs.Int("window", 0, "sliding-window length in simulation cycles (0: cumulative)")
-		shards      = fs.Int("ingest-shards", 0, "writer goroutines for sharded rating ingest (0: immediate single-writer records)")
-		fullDetect  = fs.Bool("full-detect", false, "run every detection cycle from scratch instead of incrementally (identical output, higher cost)")
-		runs        = fs.Int("runs", 1, "runs to average")
-		seed        = fs.Uint64("seed", 1, "random seed")
-		tracePath   = fs.String("trace", "", "write the deterministic JSONL run trace to this file")
-		metricsPath = fs.String("metrics", "", "export metrics to this file after the run (.prom: Prometheus text, otherwise JSON)")
-		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile  = fs.String("memprofile", "", "write a pprof heap profile to this file")
+		nodes           = fs.Int("nodes", 200, "network size")
+		colluders       = fs.Int("colluders", 8, "number of colluders (paired consecutively)")
+		b               = fs.Float64("b", 0.6, "colluder good-behavior probability B")
+		engine          = fs.String("engine", "eigentrust", "reputation engine: eigentrust, summation, weighted, iterative, similarity")
+		detector        = fs.String("detector", "none", "collusion detector: none, basic, optimized, group, sybil")
+		compromised     = fs.Bool("compromised", false, "compromise two pretrusted nodes (Figure 7/11 scenario)")
+		ringSize        = fs.Int("ring", 0, "also plant one colluder ring of this size (>= 3)")
+		swarmSize       = fs.Int("swarm", 0, "also plant one Sybil swarm with this many fake boosters (>= 2)")
+		cycles          = fs.Int("cycles", 20, "simulation cycles")
+		window          = fs.Int("window", 0, "sliding-window length in simulation cycles (0: cumulative)")
+		shards          = fs.Int("ingest-shards", 0, "writer goroutines for sharded rating ingest (0: immediate single-writer records)")
+		fullDetect      = fs.Bool("full-detect", false, "run every detection cycle from scratch instead of incrementally (identical output, higher cost)")
+		runs            = fs.Int("runs", 1, "runs to average")
+		seed            = fs.Uint64("seed", 1, "random seed")
+		tracePath       = fs.String("trace", "", "write the deterministic JSONL run trace to this file")
+		metricsPath     = fs.String("metrics", "", "export metrics to this file after the run (.prom: Prometheus text, otherwise JSON)")
+		spansPath       = fs.String("spans", "", "write the deterministic span timeline (JSONL phase events) to this file")
+		progressPath    = fs.String("progress", "", "write one per-cycle registry-delta JSONL line to this file")
+		telemetryAddr   = fs.String("telemetry-addr", "", "serve live telemetry on this address while the run executes (/metrics, /metrics.json, /healthz, /spans, /debug/pprof)")
+		telemetryLinger = fs.Duration("telemetry-linger", 0, "keep the telemetry server scrapeable this long after outputs are written")
+		cpuprofile      = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile      = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -145,12 +154,72 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Tracer = tracer
 	}
 	var reg *obs.Registry
-	if *metricsPath != "" {
+	if *metricsPath != "" || *progressPath != "" || *telemetryAddr != "" {
 		reg = obs.NewRegistry(&meter)
 		cfg.Obs = reg
+	}
+	if *metricsPath != "" {
 		// Wall-clock detection latency comes from the unseeded profiling
-		// harness; it observes into a histogram and never feeds back.
+		// harness; it observes into a histogram and never feeds back. It is
+		// tied to -metrics (not to the registry existing) so that a
+		// -progress stream on its own stays free of wall-clock histograms
+		// and therefore byte-deterministic.
 		cfg.CycleTimer = prof.DetectTimer(reg.Histogram("detect.cycle_ns"))
+	}
+	// The span timeline rides its own tracer: one file sink, one telemetry
+	// hub, or both behind a tee. Wall-clock span durations are attached
+	// only when something wall-clock-aware consumes the registry (-metrics
+	// or a live scrape), for the same determinism reason as CycleTimer.
+	var hub *serve.Hub
+	var spanSinks []obs.Sink
+	if *spansPath != "" {
+		sink, err := obs.NewFileSink(*spansPath)
+		if err != nil {
+			return err
+		}
+		spanSinks = append(spanSinks, sink)
+	}
+	if *telemetryAddr != "" {
+		hub = serve.NewHub(reg, 0)
+		spanSinks = append(spanSinks, hub)
+	}
+	if len(spanSinks) > 0 {
+		spans := obs.NewSpanTracer(obs.Tee(spanSinks...), &meter)
+		if *metricsPath != "" || *telemetryAddr != "" {
+			spans.Observer = prof.NewSpanTimer(reg)
+		}
+		cfg.Spans = spans
+	}
+	if *progressPath != "" {
+		sink, err := obs.NewFileSink(*progressPath)
+		if err != nil {
+			return err
+		}
+		cfg.Progress = obs.NewProgress(reg, sink)
+	}
+	var srv *serve.Server
+	if *telemetryAddr != "" {
+		var err error
+		srv, err = serve.Start(serve.Options{
+			Addr:     *telemetryAddr,
+			Registry: reg,
+			Hub:      hub,
+			Version:  "colsim",
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		// Printed before the run so scripts (and the CI smoke job) can
+		// discover the port resolved from ":0".
+		fmt.Fprintf(stdout, "telemetry listening on %s\n", srv.Addr())
+		prev := cfg.OnCycle
+		cfg.OnCycle = func(cycle int, scores []float64) {
+			srv.SetCycle(cycle)
+			if prev != nil {
+				prev(cycle, scores)
+			}
+		}
 	}
 	if *cpuprofile != "" {
 		stop, err := prof.StartCPUProfile(*cpuprofile)
@@ -206,7 +275,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "trace written to %s\n", *tracePath)
 	}
-	if reg != nil {
+	if cfg.Spans != nil {
+		// Closing the span tracer closes its sink chain: the file sink
+		// flushes and the hub (if any) ends every live /spans stream.
+		if err := cfg.Spans.Close(); err != nil {
+			return fmt.Errorf("spans: %w", err)
+		}
+		if *spansPath != "" {
+			fmt.Fprintf(stdout, "span timeline written to %s\n", *spansPath)
+		}
+	}
+	if cfg.Progress != nil {
+		if err := cfg.Progress.Close(); err != nil {
+			return fmt.Errorf("progress: %w", err)
+		}
+		fmt.Fprintf(stdout, "progress written to %s\n", *progressPath)
+	}
+	if *metricsPath != "" {
 		if err := reg.WriteFile(*metricsPath); err != nil {
 			return fmt.Errorf("metrics: %w", err)
 		}
@@ -216,6 +301,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := prof.WriteHeapProfile(*memprofile); err != nil {
 			return err
 		}
+	}
+	if srv != nil {
+		// Nothing mutates the registry past this point, so a /metrics
+		// scrape during the linger is byte-identical to the -metrics file
+		// written above — the CI smoke job compares exactly that.
+		srv.Linger(*telemetryLinger)
 	}
 	return nil
 }

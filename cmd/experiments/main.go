@@ -6,6 +6,7 @@
 //
 //	experiments [-fig all|ablations|fig1a|...|fig13|ab-*] [-runs 5] [-seed 1] [-scale 1.0] [-workers 0] [-full-detect] [-out dir]
 //	            [-trace trace.jsonl] [-metrics metrics.json|metrics.prom]
+//	            [-progress progress.jsonl] [-telemetry-addr :9090] [-telemetry-linger 30s]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Examples:
@@ -27,6 +28,7 @@ import (
 	"github.com/p2psim/collusion/internal/experiments"
 	"github.com/p2psim/collusion/internal/obs"
 	"github.com/p2psim/collusion/internal/obs/prof"
+	"github.com/p2psim/collusion/internal/obs/serve"
 	"github.com/p2psim/collusion/internal/parallel"
 )
 
@@ -52,10 +54,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		full    = fs.Bool("full-detect", false, "run every detection cycle from scratch instead of incrementally (identical output, higher cost)")
 		out     = fs.String("out", "", "directory for CSV export (empty: no files)")
 
-		tracePath   = fs.String("trace", "", "write the deterministic JSONL run trace to this file")
-		metricsPath = fs.String("metrics", "", "export metrics to this file after the run (.prom: Prometheus text, otherwise JSON)")
-		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile  = fs.String("memprofile", "", "write a pprof heap profile to this file")
+		tracePath       = fs.String("trace", "", "write the deterministic JSONL run trace to this file")
+		metricsPath     = fs.String("metrics", "", "export metrics to this file after the run (.prom: Prometheus text, otherwise JSON)")
+		progressPath    = fs.String("progress", "", "write per-cycle registry-delta JSONL lines to this file (live feed; cell-parallel figures interleave)")
+		telemetryAddr   = fs.String("telemetry-addr", "", "serve live telemetry on this address while experiments run (/metrics, /metrics.json, /healthz, /debug/pprof)")
+		telemetryLinger = fs.Duration("telemetry-linger", 0, "keep the telemetry server scrapeable this long after outputs are written")
+		cpuprofile      = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile      = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,9 +81,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 		opts.Tracer = tracer
 	}
 	var reg *obs.Registry
-	if *metricsPath != "" {
+	if *metricsPath != "" || *progressPath != "" || *telemetryAddr != "" {
 		reg = obs.NewRegistry(nil)
 		opts.Obs = reg
+	}
+	if *progressPath != "" {
+		sink, err := obs.NewFileSink(*progressPath)
+		if err != nil {
+			return err
+		}
+		opts.Progress = obs.NewProgress(reg, sink)
+	}
+	var srv *serve.Server
+	if *telemetryAddr != "" {
+		// No span hub here: experiments runs figure cells concurrently and
+		// a span tracer's open-span stack describes one sequential loop, so
+		// the sweep exposes metrics and pprof but not /spans (404).
+		var err error
+		srv, err = serve.Start(serve.Options{
+			Addr:     *telemetryAddr,
+			Registry: reg,
+			Version:  "experiments",
+		})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(stdout, "telemetry listening on %s\n", srv.Addr())
 	}
 	if *cpuprofile != "" {
 		stop, err := prof.StartCPUProfile(*cpuprofile)
@@ -121,8 +150,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("trace: %w", err)
 		}
 	}
+	if opts.Progress != nil {
+		if err := opts.Progress.Close(); err != nil {
+			return fmt.Errorf("progress: %w", err)
+		}
+	}
 	if reg != nil {
 		reg.Gauge("experiments.tables").Set(float64(len(tables)))
+	}
+	if *metricsPath != "" {
 		if err := reg.WriteFile(*metricsPath); err != nil {
 			return fmt.Errorf("metrics: %w", err)
 		}
@@ -131,6 +167,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := prof.WriteHeapProfile(*memprofile); err != nil {
 			return err
 		}
+	}
+	if srv != nil {
+		srv.Linger(*telemetryLinger)
 	}
 	return nil
 }

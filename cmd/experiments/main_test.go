@@ -55,3 +55,34 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+// TestRunProgressAndTelemetry pins the experiments telemetry wiring: the
+// -progress stream collects per-cycle lines from every simulation the
+// driver runs, and -telemetry-addr announces its resolved address.
+func TestRunProgressAndTelemetry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "progress.jsonl")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-fig", "fig5", "-runs", "1",
+		"-progress", path,
+		"-telemetry-addr", "127.0.0.1:0", "-telemetry-linger", "0s"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "telemetry listening on 127.0.0.1:") {
+		t.Fatalf("listen address not announced:\n%s", stdout.String()[:120])
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"type":"progress"`)) {
+		t.Fatalf("progress stream empty or malformed: %q", data[:min(len(data), 120)])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -113,3 +113,99 @@ func TestRunJSONLInput(t *testing.T) {
 		t.Fatalf("report missing analysis:\n%s", stdout.String())
 	}
 }
+
+// writeSpanTimeline writes a small hand-built span timeline with known
+// inclusive/self cost structure: run(20) > cycle(20) > [ingest(5),
+// detect(12)], so cycle self cost is 3 and run self cost is 0.
+func writeSpanTimeline(t *testing.T) string {
+	t.Helper()
+	lines := []string{
+		`{"cycle":0,"type":"span_begin","id":1,"parent":0,"name":"run","seed":1}`,
+		`{"cycle":1,"type":"span_begin","id":2,"parent":1,"name":"cycle"}`,
+		`{"cycle":1,"type":"span_begin","id":3,"parent":2,"name":"ingest"}`,
+		`{"cycle":1,"type":"span_end","id":3,"name":"ingest","cost":5,"records":40}`,
+		`{"cycle":1,"type":"span_begin","id":4,"parent":2,"name":"detect"}`,
+		`{"cycle":1,"type":"span_end","id":4,"name":"detect","cost":12,"pairs":2}`,
+		`{"cycle":1,"type":"span_end","id":2,"name":"cycle","cost":20}`,
+		`{"cycle":1,"type":"span_end","id":1,"name":"run","cost":20}`,
+	}
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSpansSubcommand pins the fold: per-phase counts, inclusive cost,
+// self cost (children subtracted), and summed payload attributes.
+func TestSpansSubcommand(t *testing.T) {
+	path := writeSpanTimeline(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"spans", "-in", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "span timeline: 8 events, 4 phases, 1 cycles") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	for _, want := range []struct{ phase, cost, self, attrs string }{
+		{"detect", "12", "12", "pairs=2"},
+		{"ingest", "5", "5", "records=40"},
+		{"cycle", "20", "3", ""},
+		// The run span's seed attr rides span_begin; the table sums only
+		// span_end payloads (quantities a phase produced), so run has none.
+		{"run", "20", "0", ""},
+	} {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			f := strings.Fields(line)
+			if len(f) >= 4 && f[0] == want.phase {
+				found = true
+				if f[1] != "1" || f[2] != want.cost || f[3] != want.self {
+					t.Errorf("phase %s folded wrong: %q", want.phase, line)
+				}
+				if want.attrs != "" && !strings.Contains(line, want.attrs) {
+					t.Errorf("phase %s missing attrs %q: %q", want.phase, want.attrs, line)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("phase %s missing from table:\n%s", want.phase, out)
+		}
+	}
+	if strings.Contains(out, "never closed") {
+		t.Fatalf("balanced timeline reported as truncated:\n%s", out)
+	}
+}
+
+// TestSpansSubcommandTruncatedWarns pins the open-span warning on a
+// timeline cut off mid-run.
+func TestSpansSubcommandTruncatedWarns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	content := `{"cycle":0,"type":"span_begin","id":1,"parent":0,"name":"run"}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"spans", "-in", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "warning: 1 spans never closed") {
+		t.Fatalf("truncated timeline not flagged:\n%s", stdout.String())
+	}
+}
+
+// TestSpansSubcommandErrors pins argument and input validation.
+func TestSpansSubcommandErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"spans"}, &stdout, &stderr); err == nil {
+		t.Error("spans without -in accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"spans", "-in", bad}, &stdout, &stderr); err == nil {
+		t.Error("malformed timeline accepted")
+	}
+}

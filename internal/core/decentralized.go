@@ -50,6 +50,11 @@ type ManagerRing struct {
 	// protocol), recording the initiating manager, whether the exchange
 	// crossed managers, and the outcome.
 	Trace *obs.Tracer
+	// Spans, if enabled, brackets every Detect pass in a
+	// "manager.exchange" span carrying the detected-pair count and the
+	// manager-message delta the protocol exchanged — deterministic
+	// functions of the recorded ratings.
+	Spans *obs.SpanTracer
 }
 
 // Observe wires the registry's dht.lookup_hops histogram into the ring so
@@ -345,6 +350,30 @@ func (mr *ManagerRing) ResetPeriod() {
 // Detect runs the distributed detection protocol with the selected method
 // and aggregates every manager's findings.
 func (mr *ManagerRing) Detect(kind Kind) Result {
+	if !mr.Spans.Enabled() {
+		return mr.detect(kind)
+	}
+	before := mr.managerMessages()
+	mr.Spans.Begin("manager.exchange")
+	res := mr.detect(kind)
+	mr.Spans.End("manager.exchange",
+		obs.Int("pairs", len(res.Pairs)),
+		obs.I64("messages", mr.managerMessages()-before))
+	return res
+}
+
+// managerMessages reads the meter's manager-message count (0 without a
+// meter), so the manager.exchange span can carry the protocol's exact
+// request/response volume.
+func (mr *ManagerRing) managerMessages() int64 {
+	if mr.meter == nil {
+		return 0
+	}
+	return mr.meter.Get(metrics.CostManagerMessage)
+}
+
+// detect is the span-free protocol pass shared by both entry paths.
+func (mr *ManagerRing) detect(kind Kind) Result {
 	res := Result{Flagged: make([]bool, mr.population)}
 	// Deterministic manager order.
 	ids := make([]dht.ID, 0, len(mr.managers))

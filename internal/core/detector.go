@@ -303,6 +303,14 @@ type Basic struct {
 	// replayed versus re-ran. Telemetry only — never part of the metered
 	// operation costs the equivalence tests compare.
 	Obs *obs.Registry
+	// Spans, if enabled, brackets every detection pass in a "detect" span
+	// carrying the dirty-row count, detected-pair count and memo hit/miss
+	// deltas — all deterministic, worker- and shard-count-invariant
+	// quantities. Spans ride their own tracer, separate from Trace, so
+	// span collection never flips the detector onto the memo-bypassing
+	// audit path. Disabled spans add no work and no allocations (pinned
+	// by TestTelemetryOffAddsNoAllocs).
+	Spans *obs.SpanTracer
 
 	inc *incrementalState
 }
@@ -316,7 +324,15 @@ func (b *Basic) Name() string { return "unoptimized" }
 // Detect implements Detector.
 func (b *Basic) Detect(l *reputation.Ledger) Result {
 	auditCandidates(b.Trace, b.Name(), l, b.Thresholds.TR)
-	return b.detectAmong(l, summationCandidates(l, b.Thresholds.TR), nil)
+	if !b.Spans.Enabled() {
+		return b.detectAmong(l, summationCandidates(l, b.Thresholds.TR), nil)
+	}
+	b.Spans.Begin("detect")
+	res := b.detectAmong(l, summationCandidates(l, b.Thresholds.TR), nil)
+	b.Spans.End("detect",
+		obs.Str("detector", b.Name()),
+		obs.Int("pairs", len(res.Pairs)))
+	return res
 }
 
 // DetectAmong implements Detector.
@@ -330,7 +346,28 @@ func (b *Basic) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 func (b *Basic) DetectIncremental(l *reputation.Ledger, dirty []int) Result {
 	st := ensureIncremental(&b.inc, l, b.Obs)
 	auditCandidates(b.Trace, b.Name(), l, b.Thresholds.TR)
+	if b.Spans.Enabled() {
+		return b.detectSpanned(l, dirty, st)
+	}
 	return b.detectAmong(l, st.refreshCandidates(l, b.Thresholds.TR, dirty), st)
+}
+
+// detectSpanned brackets one incremental pass in a "detect" span. The
+// memo hit/miss deltas come from the registry counters (zero without a
+// registry, and zero when audit tracing bypasses the memo).
+//
+//colsim:coldpath span bracketing runs only when a span tracer is attached
+func (b *Basic) detectSpanned(l *reputation.Ledger, dirty []int, st *incrementalState) Result {
+	h0, m0 := st.hits.Value(), st.misses.Value()
+	b.Spans.Begin("detect")
+	res := b.detectAmong(l, st.refreshCandidates(l, b.Thresholds.TR, dirty), st)
+	b.Spans.End("detect",
+		obs.Str("detector", b.Name()),
+		obs.Int("dirty", len(dirty)),
+		obs.Int("pairs", len(res.Pairs)),
+		obs.I64("memo_hits", st.hits.Value()-h0),
+		obs.I64("memo_misses", st.misses.Value()-m0))
+	return res
 }
 
 // detectAmong is the shared detection pass.
@@ -536,6 +573,9 @@ type Optimized struct {
 	// Obs, if non-nil, receives the detect.incremental_hits/_misses
 	// counter pair, exactly as on Basic.
 	Obs *obs.Registry
+	// Spans, if enabled, brackets every detection pass in a "detect" span,
+	// exactly as on Basic.
+	Spans *obs.SpanTracer
 
 	inc *incrementalState
 }
@@ -549,7 +589,15 @@ func (o *Optimized) Name() string { return "optimized" }
 // Detect implements Detector.
 func (o *Optimized) Detect(l *reputation.Ledger) Result {
 	auditCandidates(o.Trace, o.Name(), l, o.Thresholds.TR)
-	return o.detectAmong(l, summationCandidates(l, o.Thresholds.TR), nil)
+	if !o.Spans.Enabled() {
+		return o.detectAmong(l, summationCandidates(l, o.Thresholds.TR), nil)
+	}
+	o.Spans.Begin("detect")
+	res := o.detectAmong(l, summationCandidates(l, o.Thresholds.TR), nil)
+	o.Spans.End("detect",
+		obs.Str("detector", o.Name()),
+		obs.Int("pairs", len(res.Pairs)))
+	return res
 }
 
 // DetectAmong implements Detector.
@@ -563,7 +611,27 @@ func (o *Optimized) DetectAmong(l *reputation.Ledger, candidates []int) Result {
 func (o *Optimized) DetectIncremental(l *reputation.Ledger, dirty []int) Result {
 	st := ensureIncremental(&o.inc, l, o.Obs)
 	auditCandidates(o.Trace, o.Name(), l, o.Thresholds.TR)
+	if o.Spans.Enabled() {
+		return o.detectSpanned(l, dirty, st)
+	}
 	return o.detectAmong(l, st.refreshCandidates(l, o.Thresholds.TR, dirty), st)
+}
+
+// detectSpanned brackets one incremental pass in a "detect" span, exactly
+// as on Basic.
+//
+//colsim:coldpath span bracketing runs only when a span tracer is attached
+func (o *Optimized) detectSpanned(l *reputation.Ledger, dirty []int, st *incrementalState) Result {
+	h0, m0 := st.hits.Value(), st.misses.Value()
+	o.Spans.Begin("detect")
+	res := o.detectAmong(l, st.refreshCandidates(l, o.Thresholds.TR, dirty), st)
+	o.Spans.End("detect",
+		obs.Str("detector", o.Name()),
+		obs.Int("dirty", len(dirty)),
+		obs.Int("pairs", len(res.Pairs)),
+		obs.I64("memo_hits", st.hits.Value()-h0),
+		obs.I64("memo_misses", st.misses.Value()-m0))
+	return res
 }
 
 // detectAmong is the shared detection pass, with the same dense-scan

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/p2psim/collusion/internal/obs"
+)
+
+// TestTelemetryOffAddsNoAllocs pins the span acceptance criterion: a
+// disabled span tracer (nil, or built on a nil sink) adds zero
+// allocations to the detect hot loop, full and incremental, on both
+// detectors — the Enabled guard must short-circuit before any
+// bracketing work.
+func TestTelemetryOffAddsNoAllocs(t *testing.T) {
+	l := benchLedger(200)
+	dirty := make([]int, l.Size())
+	for i := range dirty {
+		dirty[i] = i
+	}
+
+	t.Run("basic", func(t *testing.T) {
+		bare := NewBasic(DefaultThresholds())
+		baseline := testing.AllocsPerRun(5, func() { bare.Detect(l) })
+		off := NewBasic(DefaultThresholds())
+		off.Spans = obs.NewSpanTracer(nil, nil)
+		if got := testing.AllocsPerRun(5, func() { off.Detect(l) }); got != baseline {
+			t.Fatalf("disabled span tracer changed Detect allocations: %v, baseline %v", got, baseline)
+		}
+		incBase := testing.AllocsPerRun(5, func() { bare.DetectIncremental(l, dirty) })
+		if got := testing.AllocsPerRun(5, func() { off.DetectIncremental(l, dirty) }); got != incBase {
+			t.Fatalf("disabled span tracer changed DetectIncremental allocations: %v, baseline %v", got, incBase)
+		}
+	})
+	t.Run("optimized", func(t *testing.T) {
+		bare := NewOptimized(DefaultThresholds())
+		baseline := testing.AllocsPerRun(5, func() { bare.Detect(l) })
+		off := NewOptimized(DefaultThresholds())
+		off.Spans = obs.NewSpanTracer(nil, nil)
+		if got := testing.AllocsPerRun(5, func() { off.Detect(l) }); got != baseline {
+			t.Fatalf("disabled span tracer changed Detect allocations: %v, baseline %v", got, baseline)
+		}
+		incBase := testing.AllocsPerRun(5, func() { bare.DetectIncremental(l, dirty) })
+		if got := testing.AllocsPerRun(5, func() { off.DetectIncremental(l, dirty) }); got != incBase {
+			t.Fatalf("disabled span tracer changed DetectIncremental allocations: %v, baseline %v", got, incBase)
+		}
+	})
+}
+
+// BenchmarkBasicDetect200SpansDisabled is BenchmarkBasicDetect200 with a
+// disabled span tracer attached, so `benchjson -compare` can show spans-off
+// detection is within noise of the bare detector.
+func BenchmarkBasicDetect200SpansDisabled(b *testing.B) {
+	l := benchLedger(200)
+	d := NewBasic(DefaultThresholds())
+	d.Spans = obs.NewSpanTracer(nil, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Detect(l)
+	}
+}
+
+// BenchmarkOptimizedDetect200SpansDisabled is the optimized-detector
+// counterpart of BenchmarkBasicDetect200SpansDisabled.
+func BenchmarkOptimizedDetect200SpansDisabled(b *testing.B) {
+	l := benchLedger(200)
+	d := NewOptimized(DefaultThresholds())
+	d.Spans = obs.NewSpanTracer(nil, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Detect(l)
+	}
+}

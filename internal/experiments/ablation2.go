@@ -216,6 +216,7 @@ func AbDecentralizedLive(opts Options) (*Table, error) {
 		ring.Observe(opts.Obs)
 		cfg.Tracer = opts.Tracer
 		cfg.Obs = opts.Obs
+		cfg.Progress = opts.Progress
 		cfg.OnRating = func(rater, target, polarity int) {
 			// A live deployment routes every rating report over the DHT.
 			_ = ring.Record(rater, target, polarity)

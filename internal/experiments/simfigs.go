@@ -23,6 +23,7 @@ func reputationFigure(id, title string, cfg simulator.Config, opts Options, note
 	cfg.FullDetect = opts.FullDetect
 	cfg.Tracer = opts.Tracer // RunAveragedParallel forks per run internally
 	cfg.Obs = opts.Obs
+	cfg.Progress = opts.Progress
 	avg, err := simulator.RunAveragedParallel(cfg, opts.Runs, opts.Workers)
 	if err != nil {
 		return nil, err
@@ -147,6 +148,7 @@ func Fig8(opts Options) (*Table, error) {
 		cfg.Detector = kinds[c]
 		cfg.Tracer = kids[c]
 		cfg.Obs = opts.Obs
+		cfg.Progress = opts.Progress
 		avgs[c], errs[c] = simulator.RunAveragedParallel(cfg, opts.Runs, opts.Workers)
 	})
 	if err := opts.Tracer.Join(kids); err != nil {
@@ -268,6 +270,7 @@ func Fig12(opts Options) (*Table, error) {
 		cfg.FullDetect = opts.FullDetect
 		cfg.Tracer = kids[c]
 		cfg.Obs = opts.Obs
+		cfg.Progress = opts.Progress
 		avg, err := simulator.RunAveragedParallel(cfg, opts.Runs, opts.Workers)
 		if err != nil {
 			errs[c] = err
@@ -332,6 +335,7 @@ func Fig13(opts Options) (*Table, error) {
 		cfg.FullDetect = opts.FullDetect
 		cfg.Tracer = kids[c]
 		cfg.Obs = opts.Obs
+		cfg.Progress = opts.Progress
 		switch method {
 		case 0:
 			// EigenTrust cost: the recursive matrix calculation's

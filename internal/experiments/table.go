@@ -189,6 +189,15 @@ type Options struct {
 	// driver performs. Runs only record into histograms, which are
 	// order-independent, so one registry is safe under cell parallelism.
 	Obs *obs.Registry
+	// Progress, if non-nil, is forwarded to every simulation a driver
+	// performs: one registry-delta line per simulation cycle, a live feed
+	// across the whole experiment sweep. Progress serializes internally,
+	// so sharing one reporter across concurrent figure cells is safe, but
+	// line order then reflects scheduling — a progress stream is a live
+	// feed here, not a deterministic artifact. (Span tracers are NOT
+	// plumbed through experiments for the same reason taken seriously:
+	// a shared open-span stack across concurrent cells would corrupt.)
+	Progress *obs.Progress
 }
 
 // DefaultOptions mirrors the paper's averaging (5 runs).

@@ -55,6 +55,10 @@ type Ingester struct {
 	// attributes are pure functions of the batch, never of the shard
 	// count, so traces stay byte-identical for every Shards value.
 	Tracer *obs.Tracer
+	// Spans, if enabled, brackets every Ingest call in an "ingest" span
+	// whose payload (record count) is a pure function of the batch, so
+	// the span timeline is byte-identical for every Shards value.
+	Spans *obs.SpanTracer
 
 	deltas   []*reputation.Ledger // cached per-shard deltas, population n
 	perShard []int                // reused per-shard write-count scratch
@@ -71,6 +75,26 @@ type Ingester struct {
 //
 //colsim:hotpath
 func (g *Ingester) Ingest(batch []Rating, dsts ...*reputation.Ledger) error {
+	if g.Spans.Enabled() {
+		return g.ingestSpanned(batch, dsts)
+	}
+	return g.ingest(batch, dsts)
+}
+
+// ingestSpanned brackets the batch in an "ingest" span.
+//
+//colsim:coldpath span bracketing runs only when a span tracer is attached
+func (g *Ingester) ingestSpanned(batch []Rating, dsts []*reputation.Ledger) error {
+	g.Spans.Begin("ingest")
+	err := g.ingest(batch, dsts)
+	g.Spans.End("ingest", obs.Int("records", len(batch)))
+	return err
+}
+
+// ingest is the span-free batch fold shared by both entry paths.
+//
+//colsim:hotpath
+func (g *Ingester) ingest(batch []Rating, dsts []*reputation.Ledger) error {
 	if len(dsts) == 0 {
 		return fmt.Errorf("ingest: no destination ledgers") //colsimlint:ignore hotalloc caller-bug guard; allocates only on the error path
 	}

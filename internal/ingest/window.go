@@ -46,6 +46,11 @@ type WindowLedger struct {
 	// histogram recording. (The companion window.delta_rows gauge is set
 	// post-run by the CLIs from the final cycle's value.)
 	Obs *obs.Registry
+	// Spans, if enabled, brackets every Roll in a "window.roll" span whose
+	// payload (delta rows sealed, dirty rows reported) is a pure function
+	// of the rating stream, keeping the span timeline byte-identical for
+	// every shard count.
+	Spans *obs.SpanTracer
 }
 
 // NewWindowLedger creates a windowed ledger for n nodes spanning window
@@ -101,6 +106,19 @@ func (w *WindowLedger) Current() *reputation.Ledger { return w.cur }
 // window, and Roll consumes the merged ledger's dirty-set bookkeeping to
 // produce it, so callers must not also call ClearDirty on Window().
 func (w *WindowLedger) Roll() []int {
+	if !w.Spans.Enabled() {
+		return w.roll()
+	}
+	w.Spans.Begin("window.roll")
+	dirty := w.roll()
+	w.Spans.End("window.roll",
+		obs.Int("delta_rows", w.deltaRows),
+		obs.Int("dirty_rows", len(dirty)))
+	return dirty
+}
+
+// roll is the span-free rollover shared by both entry paths.
+func (w *WindowLedger) roll() []int {
 	w.deltaRows = w.cur.DirtyCount()
 	var spare *reputation.Ledger
 	if w.filled == w.window {

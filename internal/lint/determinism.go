@@ -26,8 +26,12 @@ var restrictedTrees = []string{
 // set. internal/obs/prof is the profiling harness: it exists to read the
 // wall clock and drive pprof, its measurements flow one way into
 // histograms, and nothing seeded imports it for results.
+// internal/obs/serve is the live telemetry HTTP plane: an operational
+// server (timeouts, uptime, graceful shutdown) that only ever reads the
+// registry and the span stream — telemetry flows one way, out.
 var exemptTrees = []string{
 	"internal/obs/prof",
+	"internal/obs/serve",
 }
 
 // forbiddenImports are packages that smuggle ambient nondeterminism into a

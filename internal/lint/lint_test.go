@@ -149,6 +149,20 @@ func TestDeterminismProfExempt(t *testing.T) {
 	}
 }
 
+// TestDeterminismServeExempt proves the live telemetry HTTP plane is
+// carved out like the profiling harness: the same dirty fixture —
+// which under internal/obs itself still yields every finding
+// (TestDeterminismObsRestricted) — produces none under
+// internal/obs/serve, where listener timeouts and uptime legitimately
+// read the wall clock.
+func TestDeterminismServeExempt(t *testing.T) {
+	pkg := loadFixture(t, "determinism", "internal/obs/serve/lintfixture")
+	findings := lint.Run([]*lint.Analyzer{lint.DeterminismAnalyzer}, []*lint.Package{pkg})
+	if len(findings) != 0 {
+		t.Fatalf("determinism fired in the exempt telemetry plane: %v", findings)
+	}
+}
+
 func TestErrDropFixture(t *testing.T) {
 	pkg := loadFixture(t, "errdrop", "internal/lintfixture/errdrop")
 	checkFixture(t, lint.ErrDropAnalyzer, pkg)

@@ -28,6 +28,55 @@ func DetectTimer(h *obs.Histogram) obs.TimerFunc {
 	}
 }
 
+// SpanTimer is the wall-clock obs.SpanObserver: it times every span
+// between SpanBegin and SpanEnd and records the nanoseconds into the
+// registry histogram span.<name>_ns. Durations live only in histograms —
+// never in the span timeline itself — so attaching a timer does not
+// perturb the timeline's byte-identity. Like the SpanTracer driving it,
+// a SpanTimer describes one sequential run loop and is not safe for
+// concurrent use.
+type SpanTimer struct {
+	reg   *obs.Registry
+	stack []spanStart
+	hists map[string]*obs.Histogram
+}
+
+type spanStart struct {
+	name  string
+	start time.Time
+}
+
+// NewSpanTimer returns a timer recording into reg (nil yields a timer
+// whose observations vanish into nil histograms).
+func NewSpanTimer(reg *obs.Registry) *SpanTimer {
+	return &SpanTimer{reg: reg, hists: make(map[string]*obs.Histogram)}
+}
+
+// SpanBegin implements obs.SpanObserver.
+func (t *SpanTimer) SpanBegin(name string) {
+	t.stack = append(t.stack, spanStart{name: name, start: time.Now()})
+}
+
+// SpanEnd implements obs.SpanObserver. The SpanTracer enforces strict
+// Begin/End pairing, so a mismatch here cannot happen through it; stray
+// calls are ignored rather than panicking twice.
+func (t *SpanTimer) SpanEnd(name string) {
+	if len(t.stack) == 0 {
+		return
+	}
+	top := t.stack[len(t.stack)-1]
+	if top.name != name {
+		return
+	}
+	t.stack = t.stack[:len(t.stack)-1]
+	h, ok := t.hists[name]
+	if !ok {
+		h = t.reg.Histogram("span." + name + "_ns")
+		t.hists[name] = h
+	}
+	h.Observe(time.Since(top.start).Nanoseconds())
+}
+
 // StartCPUProfile begins a CPU profile written to path and returns the
 // function that stops the profile and closes the file.
 func StartCPUProfile(path string) (stop func() error, err error) {

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"sync"
+
+	"github.com/p2psim/collusion/internal/obs"
+)
+
+// Hub is the bounded fan-out span sink feeding /spans subscriptions: it
+// implements obs.Sink, so a tracer (usually behind an obs.Tee with the
+// span file sink) writes each encoded event chunk once and the hub copies
+// it to every live subscriber's buffered channel.
+//
+// The contract that matters is that the hub can NEVER block the emitting
+// path: a subscriber whose buffer is full loses the chunk and the
+// serve.spans_dropped counter increments — slow HTTP readers cost
+// themselves data, not the simulation throughput. With no subscribers a
+// write is a mutex acquisition and nothing else.
+type Hub struct {
+	mu      sync.Mutex
+	subs    []chan []byte
+	closed  bool
+	queue   int
+	dropped *obs.Counter
+}
+
+// defaultQueue is the per-subscriber buffered-chunk count. Each chunk is
+// one WriteTrace payload (typically a single JSONL line), so the default
+// absorbs scheduling hiccups without holding runs of a large simulation
+// in memory per slow reader.
+const defaultQueue = 256
+
+// NewHub returns a hub registering its dropped-chunk counter as
+// serve.spans_dropped in reg (nil-safe: without a registry drops are
+// simply uncounted). queue bounds each subscriber's buffer; values <= 0
+// select the default of 256 chunks.
+func NewHub(reg *obs.Registry, queue int) *Hub {
+	if queue <= 0 {
+		queue = defaultQueue
+	}
+	return &Hub{queue: queue, dropped: reg.Counter("serve.spans_dropped")}
+}
+
+// WriteTrace implements obs.Sink. The payload is copied once (the tracer
+// reuses its scratch buffer) and offered to every subscriber without
+// blocking; full subscribers drop the chunk and are counted.
+func (h *Hub) WriteTrace(p []byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || len(h.subs) == 0 {
+		return nil
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	for _, ch := range h.subs {
+		select {
+		case ch <- cp:
+		default:
+			h.dropped.Add(1)
+		}
+	}
+	return nil
+}
+
+// Close implements obs.Sink: every subscriber channel is closed (ending
+// its /spans stream) and later writes are discarded. Idempotent, because
+// both the owning tracer's Close and a shutting-down server may reach it.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	for _, ch := range h.subs {
+		close(ch)
+	}
+	h.subs = nil
+	return nil
+}
+
+// Subscribe registers a new subscriber and returns its chunk channel plus
+// the function that unsubscribes it (closing the channel). On a closed
+// hub the returned channel is already closed.
+func (h *Hub) Subscribe() (<-chan []byte, func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch := make(chan []byte, h.queue)
+	if h.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	h.subs = append(h.subs, ch)
+	return ch, func() { h.unsubscribe(ch) }
+}
+
+// unsubscribe removes one subscriber; safe to call after Close (the hub
+// has already forgotten and closed the channel).
+func (h *Hub) unsubscribe(ch chan []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, s := range h.subs {
+		if s == ch {
+			h.subs = append(h.subs[:i], h.subs[i+1:]...)
+			close(ch)
+			return
+		}
+	}
+}
+
+// Dropped returns how many chunks were dropped on full subscriber
+// buffers (0 when the hub was built without a registry).
+func (h *Hub) Dropped() int64 { return h.dropped.Value() }
+
+// Subscribers returns the live subscriber count.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}

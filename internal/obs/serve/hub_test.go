@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/p2psim/collusion/internal/obs"
+)
+
+// TestHubFanOut pins the basic contract: every subscriber gets every
+// chunk as its own copy, and unsubscribe closes the channel.
+func TestHubFanOut(t *testing.T) {
+	h := NewHub(nil, 8)
+	a, cancelA := h.Subscribe()
+	b, cancelB := h.Subscribe()
+	defer cancelB()
+	if h.Subscribers() != 2 {
+		t.Fatalf("subscribers = %d, want 2", h.Subscribers())
+	}
+
+	payload := []byte("line\n")
+	if err := h.WriteTrace(payload); err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = 'X' // the tracer reuses its scratch buffer; the hub must have copied
+	for name, ch := range map[string]<-chan []byte{"a": a, "b": b} {
+		got := <-ch
+		if string(got) != "line\n" {
+			t.Fatalf("subscriber %s got %q (copy not taken?)", name, got)
+		}
+	}
+
+	cancelA()
+	if _, ok := <-a; ok {
+		t.Fatal("unsubscribed channel not closed")
+	}
+	if h.Subscribers() != 1 {
+		t.Fatalf("subscribers after unsubscribe = %d, want 1", h.Subscribers())
+	}
+}
+
+// TestHubOverflowDropsWithCounter pins the never-block contract: a
+// subscriber that stops reading loses chunks, the drop counter (both the
+// hub's and the registry's) advances, and WriteTrace keeps returning
+// immediately with no error.
+func TestHubOverflowDropsWithCounter(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	h := NewHub(reg, 2)
+	ch, cancel := h.Subscribe()
+	defer cancel()
+
+	for i := 0; i < 7; i++ {
+		if err := h.WriteTrace([]byte(fmt.Sprintf("chunk %d\n", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.Dropped(); got != 5 {
+		t.Fatalf("dropped = %d, want 5 (queue 2, writes 7)", got)
+	}
+	if got := reg.Counter("serve.spans_dropped").Value(); got != 5 {
+		t.Fatalf("registry drop counter = %d, want 5", got)
+	}
+	// The subscriber still holds the oldest chunks, in order.
+	if got := string(<-ch); got != "chunk 0\n" {
+		t.Fatalf("first buffered chunk %q", got)
+	}
+	if got := string(<-ch); got != "chunk 1\n" {
+		t.Fatalf("second buffered chunk %q", got)
+	}
+}
+
+// TestHubCloseIdempotent pins the lifecycle: Close ends every
+// subscription, later writes are discarded, a second Close is a no-op,
+// and a post-close Subscribe yields an already-closed channel.
+func TestHubCloseIdempotent(t *testing.T) {
+	h := NewHub(nil, 0)
+	ch, _ := h.Subscribe()
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("subscription survived Close")
+	}
+	if err := h.WriteTrace([]byte("late\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dead, cancel := h.Subscribe()
+	defer cancel()
+	if _, ok := <-dead; ok {
+		t.Fatal("post-close Subscribe returned a live channel")
+	}
+}
+
+// TestHubNoSubscribers pins that writing to an idle hub is a cheap no-op.
+func TestHubNoSubscribers(t *testing.T) {
+	h := NewHub(nil, 0)
+	if err := h.WriteTrace([]byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	if h.Dropped() != 0 {
+		t.Fatalf("dropped %d chunks with no subscribers", h.Dropped())
+	}
+}

@@ -1,0 +1,184 @@
+// Package serve is the live telemetry plane: a small HTTP server exposing
+// a running simulation's metrics registry, health watermark, span stream
+// and pprof endpoints while the run executes — the bridge from the
+// post-run artifact exports (-trace/-metrics files) to the ROADMAP's
+// resident detection service.
+//
+// Like internal/obs/prof, this subtree is explicitly wall-clock-exempt
+// (the colsimlint determinism analyzer carves it out): an HTTP server is
+// operational machinery, not part of any seeded tree, and nothing here
+// feeds back into simulation state. Telemetry flows strictly one way —
+// the simulation records into the registry and the span tracer, the
+// server reads. Endpoints:
+//
+//	/metrics        Prometheus text exposition of the registry (live scrape;
+//	                byte-identical to Registry.WritePrometheus at the same state)
+//	/metrics.json   the registry's JSON export
+//	/healthz        JSON health document: cycle watermark, build info, uptime
+//	/spans          chunked JSONL subscription to the live span timeline,
+//	                fed by the bounded drop-with-counter Hub
+//	/debug/pprof/   the standard pprof handlers
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/p2psim/collusion/internal/obs"
+)
+
+// Options configures Start.
+type Options struct {
+	// Addr is the listen address, e.g. ":9090" or "127.0.0.1:0" (use
+	// Server.Addr to discover the bound port).
+	Addr string
+	// Registry backs /metrics and /metrics.json. Required.
+	Registry *obs.Registry
+	// Hub, if non-nil, feeds /spans; without one the endpoint reports 404.
+	// The hub's lifecycle belongs to the span tracer's sink chain — the
+	// server never closes it.
+	Hub *Hub
+	// Version is a free-form build label reported by /healthz alongside
+	// the Go runtime version.
+	Version string
+}
+
+// Server is one running telemetry server.
+type Server struct {
+	reg     *obs.Registry
+	hub     *Hub
+	version string
+	start   time.Time
+	cycle   atomic.Int64
+	ln      net.Listener
+	srv     *http.Server
+}
+
+// Start listens on opts.Addr and serves in a background goroutine.
+func Start(opts Options) (*Server, error) {
+	if opts.Registry == nil {
+		return nil, fmt.Errorf("serve: Options.Registry is required")
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Server{
+		reg:     opts.Registry,
+		hub:     opts.Hub,
+		version: opts.Version,
+		start:   time.Now(),
+		ln:      ln,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/metrics.json", s.metricsJSON)
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/spans", s.spans)
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Serve returns ErrServerClosed on Shutdown/Close; any earlier
+		// error means the listener died, which the next scrape will notice.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolving ":0" to the actual
+// port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetCycle advances the /healthz cycle watermark — the last completed
+// simulation cycle, so a scraper can correlate a /metrics reading with
+// run progress.
+func (s *Server) SetCycle(cycle int) { s.cycle.Store(int64(cycle)) }
+
+// Linger blocks for d, keeping the server scrapeable after the run whose
+// telemetry it exposes has completed; the CLIs call it behind their
+// -telemetry-linger flags so batch runs stay scrapeable long enough for a
+// final collection pass. A non-positive d returns immediately.
+func (s *Server) Linger(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Close shuts the server down, waiting briefly for in-flight requests
+// before closing remaining connections (long-lived /spans streams end
+// when their hub closes or their connection drops).
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// metrics serves the Prometheus text exposition — the same bytes
+// Registry.WritePrometheus writes to a -metrics file at equal registry
+// state, which the CI telemetry smoke compares byte-for-byte.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// metricsJSON serves the registry's JSON export.
+func (s *Server) metricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.reg.WriteJSON(w)
+}
+
+// healthz serves the health document: status, cycle watermark, build
+// info and uptime.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = fmt.Fprintf(w, "{\"status\":\"ok\",\"cycle\":%d,\"go\":%q,\"version\":%q,\"uptime_s\":%d}\n",
+		s.cycle.Load(), runtime.Version(), s.version, int64(time.Since(s.start).Seconds()))
+}
+
+// spans streams the live span timeline as chunked JSONL until the client
+// disconnects or the hub closes. Each chunk is one sink write; a client
+// that cannot keep up silently loses chunks (see Hub) rather than ever
+// stalling the emitting simulation.
+func (s *Server) spans(w http.ResponseWriter, r *http.Request) {
+	if s.hub == nil {
+		http.Error(w, "span streaming not configured (no span tracer attached)", http.StatusNotFound)
+		return
+	}
+	ch, cancel := s.hub.Subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case chunk, ok := <-ch:
+			if !ok {
+				return
+			}
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	}
+}

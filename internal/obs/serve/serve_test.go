@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/p2psim/collusion/internal/metrics"
+	"github.com/p2psim/collusion/internal/obs"
+)
+
+// startServer boots a server on a loopback ephemeral port and tears it
+// down with the test.
+func startServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	s, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// get fetches a path from the server and returns status and body.
+func get(t *testing.T, s *Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestMetricsEndpointMatchesFileExport pins the CI smoke contract: at
+// equal registry state, a /metrics scrape returns byte-for-byte what
+// WritePrometheus exports, and /metrics.json matches WriteJSON.
+func TestMetricsEndpointMatchesFileExport(t *testing.T) {
+	var meter metrics.CostMeter
+	reg := obs.NewRegistry(&meter)
+	meter.Add(metrics.CostPairCheck, 42)
+	reg.Counter("serve.test_counter").Add(3)
+	reg.Gauge("serve.test_gauge").Set(1.5)
+	reg.Histogram("serve.test_hist").Observe(7)
+	s := startServer(t, Options{Registry: reg})
+
+	status, body := get(t, s, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	var want bytes.Buffer
+	if err := reg.WritePrometheus(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Fatalf("/metrics differs from WritePrometheus:\n%s\nvs\n%s", body, want.Bytes())
+	}
+
+	status, body = get(t, s, "/metrics.json")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics.json status %d", status)
+	}
+	var wantJSON bytes.Buffer
+	if err := reg.WriteJSON(&wantJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, wantJSON.Bytes()) {
+		t.Fatalf("/metrics.json differs from WriteJSON")
+	}
+}
+
+// TestHealthzWatermark pins the health document: ok status, the cycle
+// watermark set through SetCycle, and build info.
+func TestHealthzWatermark(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	s := startServer(t, Options{Registry: reg, Version: "test-build"})
+	s.SetCycle(17)
+
+	status, body := get(t, s, "/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("/healthz status %d", status)
+	}
+	var doc struct {
+		Status  string `json:"status"`
+		Cycle   int    `json:"cycle"`
+		Go      string `json:"go"`
+		Version string `json:"version"`
+		UptimeS int    `json:"uptime_s"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("healthz is not JSON: %v\n%s", err, body)
+	}
+	if doc.Status != "ok" || doc.Cycle != 17 || doc.Version != "test-build" {
+		t.Fatalf("healthz document: %+v", doc)
+	}
+	if !strings.HasPrefix(doc.Go, "go") {
+		t.Fatalf("healthz go version %q", doc.Go)
+	}
+}
+
+// TestPprofIndexServed pins that the standard pprof handlers are mounted.
+func TestPprofIndexServed(t *testing.T) {
+	s := startServer(t, Options{Registry: obs.NewRegistry(nil)})
+	status, body := get(t, s, "/debug/pprof/")
+	if status != http.StatusOK || !bytes.Contains(body, []byte("profile")) {
+		t.Fatalf("/debug/pprof/ status %d body %q", status, body[:min(len(body), 80)])
+	}
+}
+
+// TestSpansWithoutHub404s pins the unconfigured-endpoint contract.
+func TestSpansWithoutHub404s(t *testing.T) {
+	s := startServer(t, Options{Registry: obs.NewRegistry(nil)})
+	if status, _ := get(t, s, "/spans"); status != http.StatusNotFound {
+		t.Fatalf("/spans without hub returned %d, want 404", status)
+	}
+}
+
+// TestStartRequiresRegistry pins the options validation.
+func TestStartRequiresRegistry(t *testing.T) {
+	if _, err := Start(Options{Addr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("Start without a registry succeeded")
+	}
+}
+
+// TestSpansStreamsLiveTimeline pins the streaming path end to end: a
+// span tracer emitting through the hub reaches an HTTP /spans client as
+// JSONL lines, and the stream ends when the hub closes.
+func TestSpansStreamsLiveTimeline(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	hub := NewHub(reg, 0)
+	s := startServer(t, Options{Registry: reg, Hub: hub})
+
+	resp, err := http.Get("http://" + s.Addr() + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/spans status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("/spans content type %q", ct)
+	}
+	// The HTTP handler subscribes asynchronously; emit only once it is
+	// registered so the test never races the subscription.
+	deadline := time.Now().Add(5 * time.Second)
+	for hub.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("/spans client never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	sp := obs.NewSpanTracer(hub, nil)
+	sp.SetCycle(1)
+	sp.Begin("cycle")
+	sp.End("cycle")
+
+	sc := bufio.NewScanner(resp.Body)
+	lineCh := make(chan string)
+	done := make(chan error, 1)
+	go func() {
+		for sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+		done <- sc.Err()
+	}()
+	var lines []string
+	for len(lines) < 2 {
+		select {
+		case line := <-lineCh:
+			lines = append(lines, line)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out streaming; got %q", lines)
+		}
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("/spans stream did not end after hub close")
+	}
+	if !strings.Contains(lines[0], `"type":"span_begin"`) ||
+		!strings.Contains(lines[1], `"type":"span_end"`) {
+		t.Fatalf("streamed lines: %q", lines)
+	}
+}
+
+// TestServerCloseUnblocksIdleSpansClient pins shutdown: closing the
+// server terminates an idle /spans stream rather than hanging on it.
+func TestServerCloseUnblocksIdleSpansClient(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	hub := NewHub(reg, 0)
+	s, err := Start(Options{Addr: "127.0.0.1:0", Registry: reg, Hub: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on an idle /spans stream")
+	}
+}
+
+// TestLingerNonPositiveReturnsImmediately pins the -telemetry-linger
+// default: zero means no post-run wait.
+func TestLingerNonPositiveReturnsImmediately(t *testing.T) {
+	s := startServer(t, Options{Registry: obs.NewRegistry(nil)})
+	start := time.Now()
+	s.Linger(0)
+	s.Linger(-time.Second)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("non-positive linger blocked for %v", elapsed)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/p2psim/collusion/internal/metrics"
+)
+
+// TestSnapshotNilRegistry pins the nil-safety edge: a nil registry yields
+// an empty (but usable) snapshot, and diffing two of them yields nothing.
+func TestSnapshotNilRegistry(t *testing.T) {
+	var r *Registry
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry produced a non-empty snapshot: %+v", snap)
+	}
+	d := snap.Diff(r.Snapshot())
+	if len(d.Counters)+len(d.Gauges)+len(d.Histograms) != 0 {
+		t.Fatalf("diff of empty snapshots is non-empty: %+v", d)
+	}
+}
+
+// TestSnapshotMergesMeterAndSorts pins that a snapshot carries cost-meter
+// charges merged with registry counters, every section sorted by name.
+func TestSnapshotMergesMeterAndSorts(t *testing.T) {
+	var meter metrics.CostMeter
+	r := NewRegistry(&meter)
+	meter.Add(metrics.CostPairCheck, 5)
+	r.Counter("zz.last").Add(1)
+	r.Counter("aa.first").Add(2)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h").Observe(3)
+
+	snap := r.Snapshot()
+	var names []string
+	for _, c := range snap.Counters {
+		names = append(names, c.Name)
+	}
+	if !sortedStrings(names) {
+		t.Fatalf("counters not sorted: %v", names)
+	}
+	want := map[string]int64{"aa.first": 2, "zz.last": 1, metrics.CostPairCheck: 5}
+	for name, v := range want {
+		found := false
+		for _, c := range snap.Counters {
+			if c.Name == name {
+				found = c.Value == v
+			}
+		}
+		if !found {
+			t.Errorf("snapshot missing counter %s=%d: %+v", name, v, snap.Counters)
+		}
+	}
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Value != 1.5 {
+		t.Fatalf("gauges: %+v", snap.Gauges)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 1 || snap.Histograms[0].Sum != 3 {
+		t.Fatalf("histograms: %+v", snap.Histograms)
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDiffFirstInterval pins that diffing against nil reports every
+// non-zero metric at its full value — the first progress line is the
+// state so far, not an empty delta.
+func TestDiffFirstInterval(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(2)
+	r.Histogram("h").Observe(4)
+	d := r.Snapshot().Diff(nil)
+	if len(d.Counters) != 1 || d.Counters[0].Value != 7 {
+		t.Fatalf("counters: %+v", d.Counters)
+	}
+	if len(d.Gauges) != 1 || d.Gauges[0].Value != 2 {
+		t.Fatalf("gauges: %+v", d.Gauges)
+	}
+	if len(d.Histograms) != 1 || d.Histograms[0].Count != 1 || d.Histograms[0].Sum != 4 {
+		t.Fatalf("histograms: %+v", d.Histograms)
+	}
+}
+
+// TestDiffUnchangedMetricsAbsent pins the "only what moved" contract: a
+// counter that did not move between snapshots does not appear in the
+// diff, and an entirely idle interval diffs to nothing.
+func TestDiffUnchangedMetricsAbsent(t *testing.T) {
+	r := NewRegistry(nil)
+	still := r.Counter("still")
+	moving := r.Counter("moving")
+	still.Add(3)
+	moving.Add(1)
+	prev := r.Snapshot()
+	moving.Add(4)
+	d := r.Snapshot().Diff(prev)
+	if len(d.Counters) != 1 || d.Counters[0].Name != "moving" || d.Counters[0].Value != 4 {
+		t.Fatalf("diff counters: %+v", d.Counters)
+	}
+	idle := r.Snapshot().Diff(r.Snapshot())
+	if len(idle.Counters)+len(idle.Gauges)+len(idle.Histograms) != 0 {
+		t.Fatalf("idle interval diffed non-empty: %+v", idle)
+	}
+}
+
+// TestDiffGaugeBitComparison pins that gauges diff on stored bits: a Set
+// to the same value is no change, any bit change (including to NaN)
+// reports the new value.
+func TestDiffGaugeBitComparison(t *testing.T) {
+	r := NewRegistry(nil)
+	g := r.Gauge("g")
+	g.Set(1.25)
+	prev := r.Snapshot()
+	g.Set(1.25)
+	if d := r.Snapshot().Diff(prev); len(d.Gauges) != 0 {
+		t.Fatalf("re-set to equal value reported: %+v", d.Gauges)
+	}
+	g.Set(2.5)
+	if d := r.Snapshot().Diff(prev); len(d.Gauges) != 1 || d.Gauges[0].Value != 2.5 {
+		t.Fatalf("changed gauge not reported: %+v", d.Gauges)
+	}
+}
+
+// TestDiffHistogramBucketDeltas pins the histogram section: count and
+// sum deltas plus per-bucket count deltas, with untouched buckets absent.
+func TestDiffHistogramBucketDeltas(t *testing.T) {
+	r := NewRegistry(nil)
+	h := r.Histogram("h")
+	h.Observe(1) // bucket upper 1
+	h.Observe(9) // a higher bucket
+	prev := r.Snapshot()
+	h.Observe(9)
+	h.Observe(9)
+	d := r.Snapshot().Diff(prev)
+	if len(d.Histograms) != 1 {
+		t.Fatalf("histograms: %+v", d.Histograms)
+	}
+	hd := d.Histograms[0]
+	if hd.Count != 2 || hd.Sum != 18 {
+		t.Fatalf("count/sum deltas: %+v", hd)
+	}
+	if len(hd.Buckets) != 1 || hd.Buckets[0].Count != 2 {
+		t.Fatalf("bucket deltas should carry only the moved bucket: %+v", hd.Buckets)
+	}
+	if hd.Buckets[0].Upper < 9 {
+		t.Fatalf("moved bucket upper %d cannot hold 9", hd.Buckets[0].Upper)
+	}
+}
+
+// TestSnapshotOfUnchangedRegistryDeeplyEqual pins the merge-walk
+// precondition Diff relies on: two snapshots of the same state are
+// deeply equal.
+func TestSnapshotOfUnchangedRegistryDeeplyEqual(t *testing.T) {
+	var meter metrics.CostMeter
+	r := NewRegistry(&meter)
+	meter.Add(metrics.CostMatrixScan, 2)
+	r.Counter("c").Add(1)
+	r.Gauge("g").Set(3)
+	r.Histogram("h").Observe(5)
+	if a, b := r.Snapshot(), r.Snapshot(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("snapshots of identical state differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestProgressEmitsPerCycleDeltas pins the reporter end to end: one
+// canonical line per cycle, flat sorted attributes, deltas not totals,
+// and an empty line for an idle cycle.
+func TestProgressEmitsPerCycleDeltas(t *testing.T) {
+	var sink BufferSink
+	r := NewRegistry(nil)
+	p := NewProgress(r, &sink)
+	if !p.Enabled() {
+		t.Fatal("reporter with registry and sink reports disabled")
+	}
+
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(0.5)
+	p.Cycle(1)
+	r.Counter("c").Add(3)
+	p.Cycle(2)
+	p.Cycle(3) // idle
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{
+		`{"cycle":1,"type":"progress","c":2,"g":0.5}`,
+		`{"cycle":2,"type":"progress","c":3}`,
+		`{"cycle":3,"type":"progress"}`,
+	}
+	got := strings.Split(strings.TrimSuffix(string(sink.Bytes()), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(got), len(want), sink.Bytes())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestProgressDisabledVariants pins nil-safety: nil reporter, nil
+// registry, and nil sink are all valid disabled reporters.
+func TestProgressDisabledVariants(t *testing.T) {
+	var sink BufferSink
+	for _, p := range []*Progress{nil, NewProgress(nil, &sink), NewProgress(NewRegistry(nil), nil)} {
+		if p.Enabled() {
+			t.Fatal("disabled reporter reports enabled")
+		}
+		p.Cycle(1)
+		if err := p.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sink.Bytes()) != 0 {
+		t.Fatalf("disabled reporter emitted: %s", sink.Bytes())
+	}
+}

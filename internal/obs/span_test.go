@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/p2psim/collusion/internal/metrics"
+)
+
+// TestSpanTracerNesting pins the timeline shape: sequential IDs, explicit
+// parent links from the open-span stack, and cost deltas priced off the
+// meter total between Begin and End.
+func TestSpanTracerNesting(t *testing.T) {
+	var sink BufferSink
+	var meter metrics.CostMeter
+	sp := NewSpanTracer(&sink, &meter)
+	if !sp.Enabled() {
+		t.Fatal("tracer with a sink reports disabled")
+	}
+
+	sp.Begin("run", Int("nodes", 60))
+	sp.SetCycle(1)
+	sp.Begin("cycle")
+	sp.Begin("detect")
+	meter.Add(metrics.CostPairCheck, 7)
+	sp.End("detect", Int("pairs", 2))
+	meter.Add(metrics.CostEigenMulAdd, 3)
+	sp.End("cycle")
+	sp.End("run")
+	if sp.Depth() != 0 {
+		t.Fatalf("depth %d after balanced brackets", sp.Depth())
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{
+		`{"cycle":0,"type":"span_begin","id":1,"parent":0,"name":"run","nodes":60}`,
+		`{"cycle":1,"type":"span_begin","id":2,"parent":1,"name":"cycle"}`,
+		`{"cycle":1,"type":"span_begin","id":3,"parent":2,"name":"detect"}`,
+		`{"cycle":1,"type":"span_end","id":3,"name":"detect","cost":7,"pairs":2}`,
+		`{"cycle":1,"type":"span_end","id":2,"name":"cycle","cost":10}`,
+		`{"cycle":1,"type":"span_end","id":1,"name":"run","cost":10}`,
+	}
+	got := strings.Split(strings.TrimSuffix(string(sink.Bytes()), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(got), len(want), sink.Bytes())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSpanTracerWithoutMeter pins that an unmetered tracer prices every
+// span at zero instead of crashing.
+func TestSpanTracerWithoutMeter(t *testing.T) {
+	var sink BufferSink
+	sp := NewSpanTracer(&sink, nil)
+	sp.Begin("run")
+	sp.End("run")
+	if !bytes.Contains(sink.Bytes(), []byte(`"cost":0`)) {
+		t.Fatalf("unmetered span_end missing zero cost: %s", sink.Bytes())
+	}
+}
+
+// TestSpanEndMismatchPanics pins that unbalanced instrumentation is a
+// loud bug, not a silently corrupted timeline.
+func TestSpanEndMismatchPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("End with no open span", func() {
+		sp := NewSpanTracer(&BufferSink{}, nil)
+		sp.End("run")
+	})
+	mustPanic("End with mismatched name", func() {
+		sp := NewSpanTracer(&BufferSink{}, nil)
+		sp.Begin("run")
+		sp.End("cycle")
+	})
+}
+
+// TestDisabledSpanTracerNoOps pins the nil-safety contract instrumented
+// hot paths rely on: a nil tracer, and a tracer with a nil sink, accept
+// every call without emitting or panicking.
+func TestDisabledSpanTracerNoOps(t *testing.T) {
+	for _, sp := range []*SpanTracer{nil, NewSpanTracer(nil, nil)} {
+		if sp.Enabled() {
+			t.Fatal("disabled tracer reports enabled")
+		}
+		sp.SetCycle(3)
+		sp.Begin("run")
+		sp.End("cycle") // mismatch would panic on an enabled tracer
+		if sp.Depth() != 0 {
+			t.Fatalf("disabled tracer tracked depth %d", sp.Depth())
+		}
+		if err := sp.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// spanRecorder records observer notifications in order.
+type spanRecorder struct{ calls []string }
+
+func (r *spanRecorder) SpanBegin(name string) { r.calls = append(r.calls, "begin:"+name) }
+func (r *spanRecorder) SpanEnd(name string)   { r.calls = append(r.calls, "end:"+name) }
+
+// TestSpanObserverNotified pins the observer hook the wall-clock
+// prof.SpanTimer attaches through.
+func TestSpanObserverNotified(t *testing.T) {
+	sp := NewSpanTracer(&BufferSink{}, nil)
+	rec := &spanRecorder{}
+	sp.Observer = rec
+	sp.Begin("run")
+	sp.Begin("cycle")
+	sp.End("cycle")
+	sp.End("run")
+	want := "begin:run,begin:cycle,end:cycle,end:run"
+	if got := strings.Join(rec.calls, ","); got != want {
+		t.Fatalf("observer calls %q, want %q", got, want)
+	}
+}
+
+// TestTeeSink pins the fan-out contract: every sink sees every write even
+// after one fails, the first error wins, and a single sink is passed
+// through without wrapping.
+func TestTeeSink(t *testing.T) {
+	var a, b BufferSink
+	tee := Tee(&a, &b)
+	if err := tee.WriteTrace([]byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), []byte("x\n")) || !bytes.Equal(b.Bytes(), []byte("x\n")) {
+		t.Fatalf("tee did not fan out: %q / %q", a.Bytes(), b.Bytes())
+	}
+	if err := tee.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var after BufferSink
+	failing := Tee(&failSink{failAfter: 0}, &after)
+	if err := failing.WriteTrace([]byte("y\n")); !errors.Is(err, errSinkBroken) {
+		t.Fatalf("tee error %v, want %v", err, errSinkBroken)
+	}
+	if !bytes.Equal(after.Bytes(), []byte("y\n")) {
+		t.Fatal("sink after the failing one missed the write")
+	}
+
+	var only BufferSink
+	if got := Tee(&only); got != Sink(&only) {
+		t.Fatal("single-sink Tee should return the sink unchanged")
+	}
+}

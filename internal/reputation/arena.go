@@ -24,7 +24,7 @@ import "math/bits"
 // are independently sized slices, so oversized rows cost their actual
 // length, and on free the whole block recycles through its class list).
 const (
-	arenaBlockShift = 16                  // 65536 entries per standard block
+	arenaBlockShift = 16 // 65536 entries per standard block
 	arenaBlockSize  = 1 << arenaBlockShift
 	arenaMinClass   = 2 // smallest span holds 4 raters
 	arenaMaxClass   = 31

@@ -227,6 +227,21 @@ type Config struct {
 	// order-independent), never set gauges, so one registry may be shared
 	// by concurrent averaged runs.
 	Obs *obs.Registry
+	// Spans, if enabled, receives the hierarchical span timeline: a run
+	// span wrapping one cycle span per simulation cycle, each bracketing
+	// the ingest, window.roll, reputation-engine and detect phases. Span
+	// payloads are deterministic (cost-meter deltas, dirty-row counts,
+	// memo hit/miss deltas), so a seeded run's timeline is byte-identical
+	// on every replay, for every Workers and IngestShards value. The span
+	// tracer is stateful and not concurrency-safe, so — unlike Tracer — an
+	// attached one forces RunAveragedParallel sequential, like OnCycle.
+	Spans *obs.SpanTracer
+	// Progress, if non-nil, receives one per-cycle registry-delta line
+	// after each cycle's detection pass — the streaming counterpart of the
+	// post-run metrics export. Like Spans it forces averaged runs
+	// sequential: the reporter diffs against its previous cycle's
+	// snapshot, which interleaved runs would corrupt.
+	Progress *obs.Progress
 	// CycleTimer, if non-nil, brackets every per-cycle detection pass.
 	// Implementations that read the wall clock live in internal/obs/prof,
 	// outside the seeded trees; timing never feeds back into the

@@ -77,10 +77,24 @@ func Run(cfg Config) (*Result, error) {
 			obs.Int("sim_cycles", cfg.SimCycles),
 			obs.Int("query_cycles", cfg.QueryCycles))
 	}
+	sp := cfg.Spans
+	engineSpan := cfg.Engine.String()
+	if sp.Enabled() {
+		sp.SetCycle(0)
+		sp.Begin("run",
+			obs.I64("seed", int64(cfg.Seed)),
+			obs.Int("nodes", cfg.Overlay.Nodes),
+			obs.Str("engine", engineSpan),
+			obs.Str("detector", cfg.Detector.String()))
+	}
 	prevRequests, prevRatings, prevFlags := 0, 0, 0
 	for cycle := 1; cycle <= cfg.SimCycles; cycle++ {
 		s.cycle = cycle
 		tr.SetCycle(cycle)
+		if sp.Enabled() {
+			sp.SetCycle(cycle)
+			sp.Begin("cycle")
+		}
 		for q := 0; q < cfg.QueryCycles; q++ {
 			s.queryCycle()
 		}
@@ -90,7 +104,13 @@ func Run(cfg Config) (*Result, error) {
 		if s.win != nil {
 			s.winDirty = s.win.Roll()
 		}
+		if sp.Enabled() {
+			sp.Begin(engineSpan)
+		}
 		s.updateReputations()
+		if sp.Enabled() {
+			sp.End(engineSpan)
+		}
 		s.detect()
 		if tr.Enabled() {
 			flags := countTrue(s.flagged)
@@ -101,13 +121,32 @@ func Run(cfg Config) (*Result, error) {
 				obs.Int("flagged_total", flags))
 			prevRequests, prevRatings, prevFlags = s.requestsTotal, s.ratings, flags
 		}
+		if sp.Enabled() {
+			sp.End("cycle",
+				obs.Int("requests", s.requestsTotal),
+				obs.Int("ratings", s.ratings),
+				obs.Int("flagged", countTrue(s.flagged)))
+		}
 		if cfg.OnCycle != nil {
 			cfg.OnCycle(cycle, s.scores)
 		}
+		cfg.Progress.Cycle(cycle)
 	}
 	s.observePairFrequencies()
+	if sp.Enabled() {
+		sp.End("run",
+			obs.Int("requests", s.requestsTotal),
+			obs.Int("ratings", s.ratings),
+			obs.Int("flagged", countTrue(s.flagged)))
+	}
 	if err := tr.Err(); err != nil {
 		return nil, fmt.Errorf("simulator: trace sink failed: %w", err)
+	}
+	if err := sp.Err(); err != nil {
+		return nil, fmt.Errorf("simulator: span sink failed: %w", err)
+	}
+	if err := cfg.Progress.Err(); err != nil {
+		return nil, fmt.Errorf("simulator: progress sink failed: %w", err)
 	}
 	return s.result(), nil
 }
@@ -186,12 +225,14 @@ func newState(cfg Config) (*state, error) {
 	if cfg.WindowCycles > 0 {
 		s.win = ingest.NewWindowLedger(n, cfg.WindowCycles)
 		s.win.Obs = cfg.Obs
+		s.win.Spans = cfg.Spans
 	}
 	if cfg.IngestShards >= 1 {
 		s.ingester = &ingest.Ingester{
 			Shards: cfg.IngestShards,
 			Obs:    cfg.Obs,
 			Tracer: cfg.Tracer,
+			Spans:  cfg.Spans,
 		}
 	}
 
@@ -279,12 +320,14 @@ func newState(cfg Config) (*state, error) {
 		d.Meter = cfg.Meter
 		d.Trace = cfg.Tracer
 		d.Obs = cfg.Obs
+		d.Spans = cfg.Spans
 		s.det = d
 	case DetectorOptimized:
 		d := core.NewOptimized(cfg.thresholds())
 		d.Meter = cfg.Meter
 		d.Trace = cfg.Tracer
 		d.Obs = cfg.Obs
+		d.Spans = cfg.Spans
 		s.det = d
 	case DetectorGroup:
 		d := core.NewGroupDetector(cfg.thresholds())
@@ -680,15 +723,18 @@ func RunAveraged(cfg Config, runs int) (*AveragedResult, error) {
 // slice, and the reduction walks the slots in run order, so every float
 // addition happens in the same order as the sequential loop. When
 // cfg.OnCycle or cfg.OnRating observers are attached the runs execute
-// sequentially, since observers are not required to be concurrency-safe.
-// A cfg.Tracer does NOT force sequential execution: each run traces into
-// its own forked buffer, and the buffers are joined in run order, so the
-// combined trace is byte-identical for every worker count.
+// sequentially, since observers are not required to be concurrency-safe;
+// cfg.Spans and cfg.Progress force the same, because the span stack and
+// the progress reporter's previous-cycle snapshot are per-run state that
+// interleaved runs would corrupt. A cfg.Tracer does NOT force sequential
+// execution: each run traces into its own forked buffer, and the buffers
+// are joined in run order, so the combined trace is byte-identical for
+// every worker count.
 func RunAveragedParallel(cfg Config, runs, workers int) (*AveragedResult, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("simulator: runs = %d, want >= 1", runs)
 	}
-	if cfg.OnCycle != nil || cfg.OnRating != nil {
+	if cfg.OnCycle != nil || cfg.OnRating != nil || cfg.Spans.Enabled() || cfg.Progress.Enabled() {
 		workers = 1
 	}
 	kids := cfg.Tracer.Fork(runs)
