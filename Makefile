@@ -30,24 +30,28 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Benchmarks that feed the checked-in baseline: the detection hot path,
-# the ledger memory-footprint benchmark that pins the CSR storage, and
-# the streaming-ingest throughput benchmarks (sharded intake + window
-# rollover).
-BENCH_PATTERN = Detect|LedgerFootprint|ShardedIngest|WindowRollover
+# the ledger memory-footprint benchmark that pins the CSR storage, the
+# streaming-ingest throughput benchmarks (sharded intake + window
+# rollover), and the sparse EigenTrust engine (matrix build, the
+# per-iteration multiply kernel, and full Scores at n=100k and n=1M).
+BENCH_PATTERN = Detect|LedgerFootprint|ShardedIngest|WindowRollover|EigenTrust
 BENCH_PKGS = ./internal/core/ ./internal/reputation/ ./internal/ingest/
+# Repetitions per benchmark; benchjson collapses them to the per-metric
+# minimum, so one noisy repetition cannot move a baseline or trip the gate.
+BENCH_COUNT ?= 3
 
 # Refresh the checked-in detector benchmark baseline. Runs the detection
 # hot-path benchmarks and stores name/ns_per_op/bytes_per_op/allocs_per_op
 # as JSON so perf regressions show up in review diffs.
 bench-save:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson > BENCH_detect.json
 
 # Gate the detection hot path against the checked-in baseline: fail on
 # any benchmark more than 20% slower (ns/op) or more than 20% hungrier
 # (bytes/op or allocs/op) than BENCH_detect.json.
 bench-compare:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson > bench_new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_detect.json bench_new.json
 

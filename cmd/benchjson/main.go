@@ -13,7 +13,11 @@
 //	  "bytes_per_op": 8304, "allocs_per_op": 14}, ...]
 //
 // Non-benchmark lines (goos/pkg headers, PASS/ok trailers) are ignored, so
-// the raw `go test` stream can be piped in unfiltered.
+// the raw `go test` stream can be piped in unfiltered. Repeated lines for
+// the same benchmark (from `go test -count=N`) are collapsed to the
+// per-metric minimum: the fastest repetition is the closest observable
+// estimate of the code's true cost, so min-of-N on both the baseline and
+// the candidate keeps scheduler noise out of the regression gate.
 //
 // Compare mode gates CI on regressions against a checked-in baseline:
 //
@@ -185,10 +189,13 @@ func run(in io.Reader, out io.Writer) error {
 }
 
 // Parse reads `go test -bench` text output and returns the benchmark
-// results sorted by name. Lines that do not look like benchmark results
-// are skipped; malformed numeric fields on a benchmark line are an error.
+// results sorted by name, with `-count=N` repetitions of the same
+// benchmark collapsed to the minimum of each metric. Lines that do not
+// look like benchmark results are skipped; malformed numeric fields on a
+// benchmark line are an error.
 func Parse(in io.Reader) ([]Bench, error) {
 	var benches []Bench
+	byName := make(map[string]int)
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -218,6 +225,11 @@ func Parse(in io.Reader) ([]Bench, error) {
 				b.AllocsPerOp = v
 			}
 		}
+		if i, ok := byName[b.Name]; ok {
+			benches[i] = minBench(benches[i], b)
+			continue
+		}
+		byName[b.Name] = len(benches)
 		benches = append(benches, b)
 	}
 	if err := sc.Err(); err != nil {
@@ -225,6 +237,21 @@ func Parse(in io.Reader) ([]Bench, error) {
 	}
 	sort.Slice(benches, func(i, j int) bool { return benches[i].Name < benches[j].Name })
 	return benches, nil
+}
+
+// minBench folds two repetitions of the same benchmark into their
+// per-metric minimum — the noise-floor estimate the gate compares.
+func minBench(a, b Bench) Bench {
+	if b.NsPerOp < a.NsPerOp {
+		a.NsPerOp = b.NsPerOp
+	}
+	if b.BytesPerOp < a.BytesPerOp {
+		a.BytesPerOp = b.BytesPerOp
+	}
+	if b.AllocsPerOp < a.AllocsPerOp {
+		a.AllocsPerOp = b.AllocsPerOp
+	}
+	return a
 }
 
 // trimProcSuffix drops the -N GOMAXPROCS suffix Go appends to benchmark

@@ -41,6 +41,31 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestParseMinOfRepetitions pins the -count=N collapse: repeated lines
+// for one benchmark reduce to the per-metric minimum, so a single noisy
+// repetition cannot move the checked-in baseline or trip the gate.
+func TestParseMinOfRepetitions(t *testing.T) {
+	const repeated = `BenchmarkA-8  100  3000 ns/op  500 B/op  9 allocs/op
+BenchmarkA-8  100  1000 ns/op  700 B/op  7 allocs/op
+BenchmarkA-8  100  2000 ns/op  600 B/op  8 allocs/op
+BenchmarkB-8  100  42 ns/op
+`
+	benches, err := Parse(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2 after collapsing: %+v", len(benches), benches)
+	}
+	a := benches[0]
+	if a.Name != "BenchmarkA" || a.NsPerOp != 1000 || a.BytesPerOp != 500 || a.AllocsPerOp != 7 {
+		t.Fatalf("collapsed BenchmarkA = %+v, want per-metric minima {1000 500 7}", a)
+	}
+	if benches[1].NsPerOp != 42 {
+		t.Fatalf("single-repetition BenchmarkB = %+v", benches[1])
+	}
+}
+
 func TestParseMalformedNumber(t *testing.T) {
 	_, err := Parse(strings.NewReader("BenchmarkX-4  10  abc ns/op\n"))
 	if err == nil {

@@ -1,6 +1,9 @@
 // Command colsim runs one P2P file-sharing simulation (the Section V
 // testbed) and reports the reputation distribution, the colluders'
-// request share, detection results and operation costs.
+// request share, detection results and operation costs. The EigenTrust
+// engine stores trust sparsely (column-compressed from the ledger, see
+// DESIGN.md section 17), so -nodes scales to the millions while scores
+// and costs stay bit-identical to the dense formulation.
 //
 // Usage:
 //

@@ -1,6 +1,8 @@
 // Command experiments regenerates the paper's evaluation artifacts: every
 // quantitative figure (1a-1d, 4, 5-13) and the ablation studies, as
-// aligned text tables, optionally exporting CSVs for plotting.
+// aligned text tables, optionally exporting CSVs for plotting. Figures
+// that exercise the EigenTrust engine run on the sparse matrix engine;
+// CSVs are byte-identical for every -workers value (CI compares them).
 //
 // Usage:
 //

@@ -23,12 +23,26 @@ import (
 // The returned scores form a probability distribution over nodes, matching
 // the scale of the paper's Figures 5–11.
 //
-// Each multiply-add of the iteration is charged to the cost meter under
-// metrics.CostEigenMulAdd; Figure 13 reports this as EigenTrust's
-// "recursive matrix calculation" cost, which depends on the network size
-// and iteration count but not on the number of colluders.
+// The trust matrix is never materialized densely. The engine keeps a
+// column-compressed view of the positive local-trust edges (O(n + nnz)
+// memory) plus the ascending list of dangling rows — raters with no
+// positive experience, whose row is the pretrust distribution — and each
+// power-iteration multiply costs O(nnz + d·n) where d is the dangling-row
+// count (and only O(nnz + d·|support(p)|) when the pretrust vector is
+// sparse, because a dangling row contributes p[j]·t[i] = 0 to every column
+// j outside p's support). The scores are nevertheless bit-identical to the
+// dense reference: for each output column, contributions accumulate over
+// rows in strictly ascending order, exactly the float-addition chain the
+// dense row scan performs (see DESIGN.md §17 for the ordering argument).
+//
+// Each multiply-add of the iteration is still charged to the cost meter
+// under metrics.CostEigenMulAdd at the dense n² count, computed
+// arithmetically — the same discipline the detectors use for their dense
+// element-visit counts — so Figure 13's cost curves are independent of the
+// storage layout.
 type EigenTrust struct {
 	// Pretrusted lists the indices of pretrusted peers (paper: IDs 1-3).
+	// Out-of-range entries are ignored; duplicates count once.
 	Pretrusted []int
 	// Alpha is the damping weight of the pretrust distribution in each
 	// iteration. The zero value selects DefaultAlpha.
@@ -39,24 +53,48 @@ type EigenTrust struct {
 	// MaxIter bounds the power iteration. The zero value selects
 	// DefaultMaxIter.
 	MaxIter int
-	// Workers sets the number of goroutines used to build the trust matrix
-	// and to run each power-iteration multiply. Values <= 1 select the
-	// sequential path. The parallel path is bit-identical to the sequential
-	// one for every worker count: the matrix rows are independent, and the
-	// multiply is partitioned over output columns with fixed boundaries, so
-	// each next[j] accumulates over rows i in the same ascending order as
-	// the sequential loop; the damping and convergence pass stays on the
-	// calling goroutine.
+	// Workers sets the number of goroutines used to normalize the trust
+	// matrix and to run each power-iteration multiply. Values <= 1 select
+	// the sequential path. The parallel path is bit-identical to the
+	// sequential one for every worker count: the multiply is partitioned
+	// over output columns with fixed boundaries, each next[j] accumulates
+	// over rows i in the same ascending order as the sequential loop, and
+	// the damping and convergence pass stays on the calling goroutine.
 	Workers int
 	// Meter, if non-nil, accumulates the iteration cost.
 	Meter *metrics.CostMeter
 	// IterObs, if non-nil, observes the power-iteration count of every
 	// Scores call — the per-cycle convergence view of the cost model.
 	IterObs *obs.Histogram
+	// Obs, if non-nil, receives the eigentrust.nnz and
+	// eigentrust.dangling_rows gauges after every matrix build, exposing
+	// the sparsity the multiply exploits.
+	Obs *obs.Registry
 
 	// iterations records the iteration count of the last Scores call,
 	// exposed for the cost experiments.
 	iterations int
+
+	// m is the sparse trust matrix of the last Scores call; its storage
+	// (and the iteration vectors below) is reused across calls, so
+	// repeated engine cycles stop re-allocating the edge arrays.
+	m          etMatrix
+	p, t, next []float64
+}
+
+// etMatrix is the column-compressed normalized local-trust matrix. Column
+// j holds the raters with positive local trust in target j — exactly the
+// ledger's CSR row for target j, filtered to s_ij > 0 — so colRow is
+// ascending within each column by construction. rowSum[i] is rater i's
+// positive local-trust mass Σ_j max(s_ij,0), accumulated in ascending j
+// order (the dense reference's row-sum chain); dangling lists, ascending,
+// the rows with rowSum == 0, whose virtual row is the pretrust vector.
+type etMatrix struct {
+	colOff   []int     // n+1 offsets into colRow/colVal per target column
+	colRow   []int32   // rater index i of each edge, ascending per column
+	colVal   []float64 // normalized trust c_ij = max(s_ij,0) / rowSum[i]
+	rowSum   []float64 // per-rater positive local-trust mass
+	dangling []int32   // rows with no positive edges, ascending
 }
 
 // Defaults for the EigenTrust engine.
@@ -79,6 +117,15 @@ func (e *EigenTrust) Name() string { return "eigentrust" }
 // call.
 func (e *EigenTrust) Iterations() int { return e.iterations }
 
+// NNZ returns the number of positive local-trust edges in the most recent
+// Scores call's sparse matrix.
+func (e *EigenTrust) NNZ() int { return len(e.m.colRow) }
+
+// DanglingRows returns how many raters had no positive experience in the
+// most recent Scores call — the rows that fall back to the pretrust
+// distribution.
+func (e *EigenTrust) DanglingRows() int { return len(e.m.dangling) }
+
 func (e *EigenTrust) params() (alpha, eps float64, maxIter int) {
 	alpha, eps, maxIter = e.Alpha, e.Epsilon, e.MaxIter
 	if alpha == 0 {
@@ -93,84 +140,38 @@ func (e *EigenTrust) params() (alpha, eps float64, maxIter int) {
 	return alpha, eps, maxIter
 }
 
-// Scores implements Engine.
+// Scores implements Engine. Memory is O(n + nnz): no dense row is ever
+// materialized, and the matrix, vector and scratch storage persists on the
+// engine across calls.
 func (e *EigenTrust) Scores(l *Ledger) []float64 {
 	n := l.Size()
 	alpha, eps, maxIter := e.params()
-	p := e.pretrustVector(n)
 	workers := e.Workers
 	if workers < 1 {
 		workers = 1
 	}
 
-	// Build the normalized local trust matrix C row-major: c[i][j] is how
-	// much rater i trusts node j. The ledger stores counts by target row,
-	// so the per-rater view is a CSR transpose of the positive local-trust
-	// edges, built in one O(n + nnz) pass: scanning targets j in ascending
-	// order appends each rater's edges with j ascending, so the row sums
-	// below accumulate in exactly the order of the old dense column scan
-	// and the resulting floats are bit-identical.
-	off := make([]int, n+1)
-	for j := 0; j < n; j++ {
-		pc := l.PairCountsOf(j)
-		for k := range pc.Raters {
-			if pc.Pos[k]-pc.Neg[k] > 0 {
-				off[int(pc.Raters[k])+1]++
-			}
-		}
+	e.p = floatSlice(e.p, n)
+	e.pretrustInto(e.p)
+	e.build(l, n, workers)
+	if e.Obs != nil {
+		e.Obs.Gauge("eigentrust.nnz").Set(float64(e.NNZ()))
+		e.Obs.Gauge("eigentrust.dangling_rows").Set(float64(e.DanglingRows()))
 	}
-	for i := 0; i < n; i++ {
-		off[i+1] += off[i]
-	}
-	edgeTo := make([]int32, off[n])
-	edgeS := make([]float64, off[n])
-	fill := make([]int, n)
-	copy(fill, off[:n])
-	for j := 0; j < n; j++ {
-		pc := l.PairCountsOf(j)
-		for k, r32 := range pc.Raters {
-			if s := pc.Pos[k] - pc.Neg[k]; s > 0 {
-				at := fill[r32]
-				edgeTo[at] = int32(j)
-				edgeS[at] = float64(s)
-				fill[r32] = at + 1
-			}
-		}
-	}
-	// Rows are independent, so filling them in parallel blocks produces
-	// the exact same floats as the sequential loop.
-	c := make([][]float64, n)
-	parallel.Blocks(workers, n, func(rlo, rhi int) {
-		for i := rlo; i < rhi; i++ {
-			row := make([]float64, n)
-			sum := 0.0
-			for at := off[i]; at < off[i+1]; at++ {
-				row[edgeTo[at]] = edgeS[at]
-				sum += edgeS[at]
-			}
-			if sum == 0 {
-				// A peer with no positive experience defers to the pretrust
-				// distribution, as in the original algorithm.
-				copy(row, p)
-			} else {
-				// Only the edge slots are nonzero; dividing just those
-				// leaves the zero entries bit-identical to dividing all.
-				for at := off[i]; at < off[i+1]; at++ {
-					row[edgeTo[at]] /= sum
-				}
-			}
-			c[i] = row
-		}
-	})
 
 	// Damped power iteration: t ← (1−α)·Cᵀt + α·p.
-	t := append([]float64(nil), p...)
-	next := make([]float64, n)
+	t := floatSlice(e.t, n)
+	copy(t, e.p)
+	next := floatSlice(e.next, n)
 	e.iterations = 0
 	for iter := 0; iter < maxIter; iter++ {
 		e.iterations++
-		e.multiply(c, t, next, workers)
+		e.multiply(t, next, workers)
 		if e.Meter != nil {
+			// Cost-model policy: the meter still charges the dense n²
+			// multiply-add count arithmetically, whatever the storage
+			// layout, so Figure 13's curves depend only on network size
+			// and iteration count.
 			e.Meter.Add(metrics.CostEigenMulAdd, int64(n)*int64(n))
 		}
 		// Damping and the convergence test stay on the calling goroutine:
@@ -179,7 +180,7 @@ func (e *EigenTrust) Scores(l *Ledger) []float64 {
 		// the returned scores — cannot depend on the worker count.
 		delta := 0.0
 		for j := 0; j < n; j++ {
-			next[j] = (1-alpha)*next[j] + alpha*p[j]
+			next[j] = (1-alpha)*next[j] + alpha*e.p[j]
 			delta += math.Abs(next[j] - t[j])
 		}
 		t, next = next, t
@@ -187,57 +188,150 @@ func (e *EigenTrust) Scores(l *Ledger) []float64 {
 			break
 		}
 	}
+	e.t, e.next = t, next
 	e.IterObs.Observe(int64(e.iterations))
-	return t
+	// The scratch vectors stay owned by the engine; callers get a fresh
+	// copy they may retain or mutate.
+	out := make([]float64, n)
+	copy(out, t)
+	return out
 }
 
-// multiply computes next = Cᵀt. The parallel path partitions the output
-// columns into fixed contiguous blocks; each worker accumulates its
-// next[j] over rows i in ascending order — the identical float-addition
-// chain the sequential loop performs for that j — so the result is
-// bit-identical for every worker count.
-func (e *EigenTrust) multiply(c [][]float64, t, next []float64, workers int) {
-	n := len(t)
-	if workers <= 1 {
-		for j := range next {
-			next[j] = 0
-		}
-		for i := 0; i < n; i++ {
-			ti := t[i]
-			if ti == 0 {
-				continue
-			}
-			row := c[i]
-			for j := 0; j < n; j++ {
-				next[j] += row[j] * ti
-			}
-		}
-		return
+// build constructs the column-compressed trust matrix straight from the
+// ledger's CSR views in one O(n + nnz) pass. Scanning targets j in
+// ascending order appends each column's edges with rater i ascending (the
+// ledger's adjacency order) and accumulates every rater's rowSum in
+// ascending j order — exactly the chain the dense reference's row scan
+// performs — so the normalized values below are bit-identical to dividing
+// a dense row by its sum.
+func (e *EigenTrust) build(l *Ledger, n, workers int) {
+	m := &e.m
+	m.colOff = intSlice(m.colOff, n+1)
+	m.rowSum = floatSlice(m.rowSum, n)
+	for i := range m.rowSum {
+		m.rowSum[i] = 0
 	}
-	parallel.Blocks(workers, n, func(jlo, jhi int) {
-		for j := jlo; j < jhi; j++ {
-			next[j] = 0
+	m.colRow = m.colRow[:0]
+	m.colVal = m.colVal[:0]
+	m.colOff[0] = 0
+	for j := 0; j < n; j++ {
+		pc := l.PairCountsOf(j)
+		for k, r := range pc.Raters {
+			if s := pc.Pos[k] - pc.Neg[k]; s > 0 {
+				m.colRow = append(m.colRow, r)
+				m.colVal = append(m.colVal, float64(s))
+				m.rowSum[r] += float64(s)
+			}
 		}
-		for i := 0; i < n; i++ {
-			ti := t[i]
-			if ti == 0 {
-				continue
-			}
-			row := c[i]
-			for j := jlo; j < jhi; j++ {
-				next[j] += row[j] * ti
-			}
+		m.colOff[j+1] = len(m.colRow)
+	}
+	// A peer with no positive experience defers to the pretrust
+	// distribution, as in the original algorithm. rowSum only accumulates
+	// values >= 1, so == 0 is exact "no positive edges".
+	m.dangling = m.dangling[:0]
+	for i := 0; i < n; i++ {
+		if m.rowSum[i] == 0 {
+			m.dangling = append(m.dangling, int32(i))
+		}
+	}
+	// Normalize c_ij = s_ij / rowSum[i]: each edge is one independent
+	// division, so the fixed-boundary partition is bit-identical to the
+	// sequential pass for every worker count.
+	cv, cr, rs := m.colVal, m.colRow, m.rowSum
+	parallel.Blocks(workers, len(cv), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			cv[k] /= rs[cr[k]]
 		}
 	})
 }
 
-// pretrustVector returns p: uniform over pretrusted peers, or uniform over
-// everyone when no pretrusted peers are configured.
-func (e *EigenTrust) pretrustVector(n int) []float64 {
-	p := make([]float64, n)
+// multiply computes next = Cᵀt over the sparse matrix. The parallel path
+// partitions the output columns into fixed contiguous blocks; each worker
+// runs the same column kernel the sequential path runs, so the result is
+// bit-identical for every worker count.
+//
+//colsim:hotpath
+func (e *EigenTrust) multiply(t, next []float64, workers int) {
+	n := len(t)
+	if workers <= 1 {
+		e.multiplyColumns(t, next, 0, n)
+		return
+	}
+	parallel.Blocks(workers, n, func(jlo, jhi int) { //colsimlint:ignore hotalloc one worker-closure fan-out per multiply, amortized over the matrix's nonzeros
+		e.multiplyColumns(t, next, jlo, jhi)
+	})
+}
+
+// multiplyColumns accumulates next[j] for columns jlo <= j < jhi. For each
+// column it merges the column's edge rows with the dangling rows in
+// strictly ascending row order — the two sets are disjoint, edge rows
+// contribute c_ij·t[i] and dangling rows p[j]·t[i] — reproducing the dense
+// reference's ascending-i accumulation chain term for term. Rows with
+// t[i] == 0 are skipped exactly as the dense loop skips them, and columns
+// with p[j] == 0 skip the dangling merge entirely: every accumulated value
+// is non-negative, so the skipped terms are IEEE +0 additions, which leave
+// the accumulator bit-identical.
+//
+//colsim:hotpath
+func (e *EigenTrust) multiplyColumns(t, next []float64, jlo, jhi int) {
+	m := &e.m
+	colOff, colRow, colVal := m.colOff, m.colRow, m.colVal
+	dang := m.dangling
+	p := e.p
+	for j := jlo; j < jhi; j++ {
+		acc := 0.0
+		ke, keEnd := colOff[j], colOff[j+1]
+		pj := p[j]
+		if pj == 0 {
+			for ; ke < keEnd; ke++ {
+				if ti := t[colRow[ke]]; ti != 0 {
+					acc += colVal[ke] * ti
+				}
+			}
+			next[j] = acc
+			continue
+		}
+		kd, kdEnd := 0, len(dang)
+		for ke < keEnd && kd < kdEnd {
+			if colRow[ke] < dang[kd] {
+				if ti := t[colRow[ke]]; ti != 0 {
+					acc += colVal[ke] * ti
+				}
+				ke++
+			} else {
+				if ti := t[dang[kd]]; ti != 0 {
+					acc += pj * ti
+				}
+				kd++
+			}
+		}
+		for ; ke < keEnd; ke++ {
+			if ti := t[colRow[ke]]; ti != 0 {
+				acc += colVal[ke] * ti
+			}
+		}
+		for ; kd < kdEnd; kd++ {
+			if ti := t[dang[kd]]; ti != 0 {
+				acc += pj * ti
+			}
+		}
+		next[j] = acc
+	}
+}
+
+// pretrustInto fills p with the pretrust distribution: uniform over the
+// distinct in-range pretrusted indices, or uniform over everyone when none
+// are valid. Out-of-range entries are ignored and duplicates count once,
+// so the vector always sums to one.
+func (e *EigenTrust) pretrustInto(p []float64) {
+	n := len(p)
+	for i := range p {
+		p[i] = 0
+	}
 	valid := 0
 	for _, idx := range e.Pretrusted {
-		if idx >= 0 && idx < n {
+		if idx >= 0 && idx < n && p[idx] == 0 {
+			p[idx] = 1 // mark; replaced by the uniform share below
 			valid++
 		}
 	}
@@ -245,15 +339,31 @@ func (e *EigenTrust) pretrustVector(n int) []float64 {
 		for i := range p {
 			p[i] = 1 / float64(n)
 		}
-		return p
+		return
 	}
 	share := 1 / float64(valid)
-	for _, idx := range e.Pretrusted {
-		if idx >= 0 && idx < n {
-			p[idx] = share
+	for i := range p {
+		if p[i] != 0 {
+			p[i] = share
 		}
 	}
-	return p
+}
+
+// floatSlice returns s resized to n, reusing its backing array when
+// capacity allows. Contents are unspecified; callers overwrite.
+func floatSlice(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// intSlice is floatSlice for []int.
+func intSlice(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // CheckDistribution verifies that scores form a probability distribution

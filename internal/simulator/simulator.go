@@ -109,7 +109,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		s.updateReputations()
 		if sp.Enabled() {
-			sp.End(engineSpan)
+			sp.End(engineSpan, s.engineSpanAttrs()...)
 		}
 		s.detect()
 		if tr.Enabled() {
@@ -306,6 +306,10 @@ func newState(cfg Config) (*state, error) {
 		et.Alpha = cfg.EigenTrustAlpha
 		et.Workers = cfg.Workers
 		et.IterObs = cfg.Obs.Histogram("eigentrust.iterations")
+		// Per-run sparsity gauges (eigentrust.nnz, eigentrust.dangling_rows):
+		// the matrix shape the sparse multiply exploits, refreshed on every
+		// build.
+		et.Obs = cfg.Obs
 		// Server selection only needs score ordering, so the iteration can
 		// stop at modest precision — the paper notes the matrix "normally
 		// can converge within several iterations".
@@ -506,6 +510,23 @@ func (s *state) updateReputations() {
 		if f {
 			s.scores[i] = 0
 		}
+	}
+}
+
+// engineSpanAttrs returns the engine span's payload attributes. For
+// EigenTrust they expose the cycle's convergence and the sparsity the
+// sparse multiply exploited (positive-trust edges and dangling rows); all
+// three depend only on the ledger contents and the seeded dynamics, never
+// on worker or shard counts, so the span timeline stays byte-identical.
+func (s *state) engineSpanAttrs() []obs.Attr {
+	et, ok := s.engine.(*reputation.EigenTrust)
+	if !ok {
+		return nil
+	}
+	return []obs.Attr{
+		obs.Int("iterations", et.Iterations()),
+		obs.Int("nnz", et.NNZ()),
+		obs.Int("dangling_rows", et.DanglingRows()),
 	}
 }
 

@@ -62,6 +62,13 @@ func TestSpanTimelineByteIdentical(t *testing.T) {
 			t.Errorf("timeline missing %s", phase)
 		}
 	}
+	// The engine span's payload exposes the sparsity the sparse multiply
+	// exploited, alongside the iteration count.
+	for _, attr := range []string{`"iterations":`, `"nnz":`, `"dangling_rows":`} {
+		if !bytes.Contains(base, []byte(attr)) {
+			t.Errorf("eigentrust span missing payload attr %s", attr)
+		}
+	}
 	if !bytes.Equal(base, spanTimeline(t, 1, 1)) {
 		t.Fatal("repeated seeded runs produced different span timelines")
 	}
