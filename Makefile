@@ -32,10 +32,12 @@ bench:
 # Benchmarks that feed the checked-in baseline: the detection hot path,
 # the ledger memory-footprint benchmark that pins the CSR storage, the
 # streaming-ingest throughput benchmarks (sharded intake + window
-# rollover), and the sparse EigenTrust engine (matrix build, the
-# per-iteration multiply kernel, and full Scores at n=100k and n=1M).
-BENCH_PATTERN = Detect|LedgerFootprint|ShardedIngest|WindowRollover|EigenTrust
-BENCH_PKGS = ./internal/core/ ./internal/reputation/ ./internal/ingest/
+# rollover), the sparse EigenTrust engine (matrix build, the
+# per-iteration multiply kernel, and full Scores at n=100k and n=1M), and
+# the resident service's snapshot plane (epoch publish cost and query
+# latency under full ingest pressure).
+BENCH_PATTERN = Detect|LedgerFootprint|ShardedIngest|WindowRollover|EigenTrust|SnapshotPublish|ServeQueryUnderIngest
+BENCH_PKGS = ./internal/core/ ./internal/reputation/ ./internal/ingest/ ./internal/service/
 # Repetitions per benchmark; benchjson collapses them to the per-metric
 # minimum, so one noisy repetition cannot move a baseline or trip the gate.
 BENCH_COUNT ?= 3
@@ -55,19 +57,20 @@ bench-compare:
 		| $(GO) run ./cmd/benchjson > bench_new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_detect.json bench_new.json
 
-# Coverage gate for the observability layer: the canonical trace encoding
-# and metric exporters underpin byte-identical replays, so they must stay
-# tested (>= 70% of statements).
+# Coverage gate for the observability layer and the resident service: the
+# canonical trace encoding, metric exporters, snapshot plane and request
+# codec underpin byte-identical replays, so they must stay tested (>= 70%
+# of statements).
 cover:
-	$(GO) test -coverprofile=cover_obs.out ./internal/obs/...
+	$(GO) test -coverprofile=cover_obs.out ./internal/obs/... ./internal/service/...
 	@total=$$($(GO) tool cover -func=cover_obs.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
-	echo "internal/obs coverage: $$total%"; \
+	echo "internal/obs + internal/service coverage: $$total%"; \
 	awk -v t="$$total" 'BEGIN { if (t + 0 < 70) { print "coverage below 70%"; exit 1 } }'
 
 # Run every fuzz target in the fuzzed packages for a short burst each; the
 # target list is discovered dynamically so new Fuzz* functions are picked
 # up automatically.
-FUZZ_PKGS = ./internal/trace/ ./internal/reputation/ ./internal/ingest/
+FUZZ_PKGS = ./internal/trace/ ./internal/reputation/ ./internal/ingest/ ./internal/service/
 fuzz:
 	@set -e; \
 	for pkg in $(FUZZ_PKGS); do \

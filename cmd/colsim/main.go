@@ -16,6 +16,9 @@
 //	       [-spans spans.jsonl] [-progress progress.jsonl]
 //	       [-telemetry-addr :9090] [-telemetry-linger 30s]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	       [-serve] [-record-requests reqs.jsonl]
+//	       [-replay-requests reqs.jsonl] [-replay-out out.jsonl]
+//	       [-flagged flagged.json]
 //
 // Examples:
 //
@@ -26,6 +29,9 @@
 //	colsim -detector basic -metrics metrics.prom -cpuprofile cpu.pprof
 //	colsim -detector optimized -window 4 -spans spans.jsonl  # phase timeline
 //	colsim -telemetry-addr :9090 -metrics metrics.prom       # live scrape
+//	colsim -serve -detector optimized -telemetry-addr :9090  # resident service (/v1/ API)
+//	colsim -serve -detector optimized -record-requests reqs.jsonl -flagged served.json
+//	colsim -replay-requests reqs.jsonl -detector optimized -replay-out out.jsonl
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 	"github.com/p2psim/collusion/internal/obs"
 	"github.com/p2psim/collusion/internal/obs/prof"
 	"github.com/p2psim/collusion/internal/obs/serve"
+	"github.com/p2psim/collusion/internal/service"
 )
 
 func main() {
@@ -75,6 +82,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		telemetryLinger = fs.Duration("telemetry-linger", 0, "keep the telemetry server scrapeable this long after outputs are written")
 		cpuprofile      = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile      = fs.String("memprofile", "", "write a pprof heap profile to this file")
+		serveMode       = fs.Bool("serve", false, "run as a resident detection service fed by the seeded simulator (one simulation cycle per epoch); mounts /v1/ on -telemetry-addr")
+		recordReqs      = fs.String("record-requests", "", "with -serve: write the applied batches as a JSONL request log (input for -replay-requests)")
+		replayReqs      = fs.String("replay-requests", "", "replay this JSONL request log through a fresh service instead of simulating")
+		replayOut       = fs.String("replay-out", "", "with -replay-requests: write response lines to this file instead of stdout")
+		flaggedPath     = fs.String("flagged", "", "write the final flagged document (epoch, flagged nodes, evidence pairs, scores) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,6 +158,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	var meter collusion.CostMeter
 	cfg.Meter = &meter
+
+	if *recordReqs != "" && !*serveMode {
+		return fmt.Errorf("-record-requests requires -serve")
+	}
+	if *replayOut != "" && *replayReqs == "" {
+		return fmt.Errorf("-replay-out requires -replay-requests")
+	}
+	if *serveMode || *replayReqs != "" {
+		if *runs > 1 {
+			return fmt.Errorf("-serve/-replay-requests do not support -runs > 1")
+		}
+		if *spansPath != "" || *progressPath != "" || *cpuprofile != "" || *memprofile != "" {
+			return fmt.Errorf("-spans/-progress/-cpuprofile/-memprofile are not supported in service mode")
+		}
+		return runService(stdout, cfg, serviceOpts{
+			metricsPath:     *metricsPath,
+			telemetryAddr:   *telemetryAddr,
+			telemetryLinger: *telemetryLinger,
+			tracePath:       *tracePath,
+			recordPath:      *recordReqs,
+			replayPath:      *replayReqs,
+			replayOut:       *replayOut,
+			flaggedPath:     *flaggedPath,
+			meter:           &meter,
+		})
+	}
+	if *flaggedPath != "" && *runs > 1 {
+		return fmt.Errorf("-flagged requires a single run")
+	}
 
 	var tracer *obs.Tracer
 	if *tracePath != "" {
@@ -260,6 +301,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		reg.Gauge("run.flagged_total").Set(float64(flagged))
 		if cfg.WindowCycles > 0 {
 			reg.Gauge("window.delta_rows").Set(float64(res.WindowDeltaRows))
+		}
+		if *flaggedPath != "" {
+			// The same document a served run exports from its final
+			// snapshot; the CI smoke job byte-compares the two.
+			doc := service.AppendFlagged(nil, int64(cfg.SimCycles), res.Scores, res.Flagged,
+				func(i int) int64 { return int64(res.DetectionCycle[i]) }, res.DetectedPairs)
+			if err := os.WriteFile(*flaggedPath, doc, 0o644); err != nil {
+				return fmt.Errorf("flagged: %w", err)
+			}
+			fmt.Fprintf(stdout, "flagged document written to %s\n", *flaggedPath)
 		}
 	}
 	fmt.Fprintln(stdout, "operation costs:")

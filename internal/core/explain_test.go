@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/p2psim/collusion/internal/obs"
+	"github.com/p2psim/collusion/internal/reputation"
+	"github.com/p2psim/collusion/internal/rng"
+)
+
+// flood records count ratings of the given polarity from rater about
+// target.
+func flood(l *reputation.Ledger, rater, target, count, polarity int) {
+	for k := 0; k < count; k++ {
+		l.Record(rater, target, polarity)
+	}
+}
+
+// TestExplainPairGates drives each gate of the advisory cascade.
+func TestExplainPairGates(t *testing.T) {
+	th := Thresholds{TR: 1, TN: 20, Ta: 0.9, Tb: 0.5}
+	l := reputation.NewLedger(8)
+
+	// Nodes 0 and 1: a textbook colluding pair, no outside reputation.
+	flood(l, 0, 1, 30, 1)
+	flood(l, 1, 0, 30, 1)
+	// Nodes 2 and 3: frequent but sour — fails T_a (both keep positive
+	// summation scores, so the candidate screen passes).
+	flood(l, 2, 3, 30, 1)
+	flood(l, 3, 2, 20, 1)
+	flood(l, 3, 2, 10, -1)
+	flood(l, 2, 3, 5, -1)
+	// Node 4: below T_R (negative summation score).
+	flood(l, 5, 4, 3, -1)
+	flood(l, 4, 5, 30, 1)
+	// Nodes 6 and 7: reputable strangers — never rated each other.
+	flood(l, 0, 6, 2, 1)
+	flood(l, 1, 7, 2, 1)
+
+	if got := ExplainPair(l, th, 0, 1).Gate; got != obs.GateFlagged {
+		t.Fatalf("mutual flood pair gate = %q, want %q", got, obs.GateFlagged)
+	}
+	// Order normalization: the same pair either way round.
+	if got := ExplainPair(l, th, 1, 0); got.I != 0 || got.J != 1 {
+		t.Fatalf("ExplainPair(1,0) not normalized: I=%d J=%d", got.I, got.J)
+	}
+	if got := ExplainPair(l, th, 2, 3).Gate; got != obs.GateTA {
+		t.Fatalf("sour pair gate = %q, want %q", got, obs.GateTA)
+	}
+	if got := ExplainPair(l, th, 4, 5).Gate; got != obs.GateTR {
+		t.Fatalf("low-reputation pair gate = %q, want %q", got, obs.GateTR)
+	}
+	if got := ExplainPair(l, th, 6, 7).Gate; got != obs.GateTN {
+		t.Fatalf("strangers gate = %q, want %q", got, obs.GateTN)
+	}
+
+	strict := th
+	strict.StrictReverse = true
+	if got := ExplainPair(l, strict, 0, 1).Gate; got != obs.GateFlagged {
+		t.Fatalf("strict mutual flood pair gate = %q, want %q", got, obs.GateFlagged)
+	}
+}
+
+// TestExplainPairMatchesDetector pins the exact half of the contract: on a
+// randomized ledger, every pair the advisory cascade reports as flagged
+// must be detected by Optimized.Detect under the same thresholds. (The
+// converse is deliberately not exact: the association sweep can flag pairs
+// whose own cascade stops early.)
+func TestExplainPairMatchesDetector(t *testing.T) {
+	const n = 24
+	r := rng.New(3).Child("explain")
+	th := Thresholds{TR: 1, TN: 5, Ta: 0.8, Tb: 0.5}
+	for trial := 0; trial < 20; trial++ {
+		l := reputation.NewLedger(n)
+		// Background traffic plus a few planted floods.
+		for k := 0; k < 400; k++ {
+			rater, target := r.Intn(n), r.Intn(n)
+			if rater == target {
+				target = (target + 1) % n
+			}
+			pol := 1
+			if r.Bool(0.3) {
+				pol = -1
+			}
+			l.Record(rater, target, pol)
+		}
+		for p := 0; p < 3; p++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a == b {
+				b = (b + 1) % n
+			}
+			flood(l, a, b, 5+r.Intn(10), 1)
+			flood(l, b, a, 5+r.Intn(10), 1)
+		}
+		det := NewOptimized(th)
+		res := det.Detect(l)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				a := ExplainPair(l, th, i, j)
+				if a.Gate == obs.GateFlagged && !res.HasPair(i, j) {
+					t.Fatalf("trial %d: ExplainPair(%d,%d) flagged but detector did not", trial, i, j)
+				}
+				if res.HasPair(i, j) && a.Gate != obs.GateFlagged && a.Gate == obs.GateTR {
+					// Detected pairs were T_R candidates at detection time and
+					// nothing mutated since, so the candidate screen cannot be
+					// the stopping gate unless the sweep flagged them — which
+					// never lowers a summation score. Anything else (TA, TN,
+					// bound) can legitimately differ via the sweep.
+					t.Fatalf("trial %d: detected pair (%d,%d) explained as %q", trial, i, j, a.Gate)
+				}
+			}
+		}
+	}
+}

@@ -20,6 +20,7 @@ var restrictedTrees = []string{
 	"internal/analysis",
 	"internal/experiments",
 	"internal/obs",
+	"internal/service",
 }
 
 // exemptTrees carves explicitly-unseeded subtrees out of the restricted
@@ -29,9 +30,14 @@ var restrictedTrees = []string{
 // internal/obs/serve is the live telemetry HTTP plane: an operational
 // server (timeouts, uptime, graceful shutdown) that only ever reads the
 // registry and the span stream — telemetry flows one way, out.
+// internal/service/httpapi is the detection service's HTTP request plane:
+// it times requests into a latency histogram but contains no detection
+// logic — the deterministic core it calls into (internal/service itself)
+// stays restricted, which is what keeps request replay byte-exact.
 var exemptTrees = []string{
 	"internal/obs/prof",
 	"internal/obs/serve",
+	"internal/service/httpapi",
 }
 
 // forbiddenImports are packages that smuggle ambient nondeterminism into a

@@ -163,6 +163,28 @@ func TestDeterminismServeExempt(t *testing.T) {
 	}
 }
 
+// TestDeterminismServiceRestricted proves the resident detection service
+// is a seeded tree: epoch transitions, snapshot publication and request
+// replay must be wall-clock- and randomness-free so a recorded request
+// log replays byte-identically, so the dirty fixture under
+// internal/service yields the same findings as under internal/core.
+func TestDeterminismServiceRestricted(t *testing.T) {
+	pkg := loadFixture(t, "determinism", "internal/service/lintfixture")
+	checkFixture(t, lint.DeterminismAnalyzer, pkg)
+}
+
+// TestDeterminismServiceHTTPExempt proves the service's HTTP request
+// plane is carved out like internal/obs/serve: request-latency timing
+// legitimately reads the wall clock, so the same dirty fixture produces
+// no findings under internal/service/httpapi.
+func TestDeterminismServiceHTTPExempt(t *testing.T) {
+	pkg := loadFixture(t, "determinism", "internal/service/httpapi/lintfixture")
+	findings := lint.Run([]*lint.Analyzer{lint.DeterminismAnalyzer}, []*lint.Package{pkg})
+	if len(findings) != 0 {
+		t.Fatalf("determinism fired in the exempt service HTTP plane: %v", findings)
+	}
+}
+
 func TestErrDropFixture(t *testing.T) {
 	pkg := loadFixture(t, "errdrop", "internal/lintfixture/errdrop")
 	checkFixture(t, lint.ErrDropAnalyzer, pkg)

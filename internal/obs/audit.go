@@ -34,6 +34,12 @@ const (
 	// strict optimized rule, where the checks run in order.
 	GateBoundForward = "bound_forward"
 	GateBoundReverse = "bound_reverse"
+	// GateTR: at least one node of the pair is below the T_R candidate
+	// screen, so the detectors never examined the pair at all. Emitted by
+	// the service suspicion endpoint's advisory explain path
+	// (core.ExplainPair), never by the detectors themselves — they screen
+	// candidates before pairing.
+	GateTR = "tr"
 )
 
 // PairAudit is one detector decision about a candidate pair (I, J): which

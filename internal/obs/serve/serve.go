@@ -47,6 +47,10 @@ type Options struct {
 	// Version is a free-form build label reported by /healthz alongside
 	// the Go runtime version.
 	Version string
+	// API, if non-nil, is mounted at /v1/ — the detection service's
+	// request plane (internal/service/httpapi) rides on the same listener
+	// as the telemetry endpoints, so one -telemetry-addr exposes both.
+	API http.Handler
 }
 
 // Server is one running telemetry server.
@@ -86,6 +90,9 @@ func Start(opts Options) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	if opts.API != nil {
+		mux.Handle("/v1/", opts.API)
+	}
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		// Serve returns ErrServerClosed on Shutdown/Close; any earlier

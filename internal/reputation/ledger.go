@@ -360,30 +360,69 @@ func (l *Ledger) LocalTrust(rater, target int) int {
 // Clone returns a deep copy of the ledger, including its dirty set and row
 // generations. The clone's arena is rebuilt compactly: each row lands in
 // the smallest span class that holds it.
+//
+// The clone owns its storage outright: no span, column view or counter is
+// shared with the original, so the two ledgers may mutate — Record, Merge,
+// Subtract, even Reset, in any interleaving — without ever observing each
+// other. In particular a Reset of the original recycles only the
+// *original's* arena spans through its own free lists; the clone's rows
+// live in the clone's arena and are untouched. The arena-recycling
+// property test in ledger_clone_test.go pins this across clone/mutate/
+// Reset interleavings against a dense reference.
 func (l *Ledger) Clone() *Ledger {
 	c := NewLedger(l.n)
+	l.CloneInto(c)
+	return c
+}
+
+// CloneInto freezes l's current contents into dst, which must cover the
+// same population. dst's previous contents are discarded: every existing
+// row span returns to dst's arena free lists before the copy, so repeated
+// CloneInto calls into the same destination recycle the same chunks and
+// allocate only while dst's arena is still growing toward l's footprint —
+// the steady state is allocation-free. This is the snapshot freeze path of
+// the resident service (internal/service): the single writer clones the
+// period ledger into a recycled snapshot ledger each epoch, and concurrent
+// readers of previously published clones are safe because, like Clone, the
+// destination shares no storage with l.
+//
+// dst's dirty set, dirty list and row generations are overwritten with
+// copies of l's, exactly as Clone produces. It panics if the populations
+// differ: recycling a snapshot across population changes is a programming
+// error.
+func (l *Ledger) CloneInto(dst *Ledger) {
+	if dst.n != l.n {
+		panic(fmt.Sprintf("reputation: CloneInto ledger of size %d from size %d", dst.n, l.n))
+	}
+	for t := range dst.rows {
+		r := &dst.rows[t]
+		if r.class == 0 {
+			continue
+		}
+		dst.ar.freeSpan(r.blk, r.off, r.class)
+		*r = rowRef{}
+	}
 	for t := 0; t < l.n; t++ {
 		rs, tot, pos, neg := l.row(t)
 		if len(rs) == 0 {
 			continue
 		}
 		class := classFor(len(rs))
-		blk, off := c.ar.alloc(class)
-		c.rows[t] = rowRef{blk: blk, off: off, n: int32(len(rs)), class: class}
-		dr, dt, dp, dn := c.ar.spanViews(c.rows[t], int32(len(rs)))
+		blk, off := dst.ar.alloc(class)
+		dst.rows[t] = rowRef{blk: blk, off: off, n: int32(len(rs)), class: class}
+		dr, dt, dp, dn := dst.ar.spanViews(dst.rows[t], int32(len(rs)))
 		copy(dr, rs)
 		copy(dt, tot)
 		copy(dp, pos)
 		copy(dn, neg)
 	}
-	copy(c.recvTotal, l.recvTotal)
-	copy(c.recvPos, l.recvPos)
-	copy(c.recvNeg, l.recvNeg)
-	copy(c.sentTotal, l.sentTotal)
-	copy(c.dirty, l.dirty)
-	c.dirtyList = append([]int32(nil), l.dirtyList...)
-	copy(c.rowGen, l.rowGen)
-	return c
+	copy(dst.recvTotal, l.recvTotal)
+	copy(dst.recvPos, l.recvPos)
+	copy(dst.recvNeg, l.recvNeg)
+	copy(dst.sentTotal, l.sentTotal)
+	copy(dst.dirty, l.dirty)
+	dst.dirtyList = append(dst.dirtyList[:0], l.dirtyList...)
+	copy(dst.rowGen, l.rowGen)
 }
 
 // Merge adds every count of other into l. Both ledgers must cover the same

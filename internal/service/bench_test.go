@@ -1,0 +1,80 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/p2psim/collusion/internal/ingest"
+	"github.com/p2psim/collusion/internal/rng"
+)
+
+// benchBatches pre-builds deterministic rating batches so the bench loop
+// measures the store, not the generator.
+func benchBatches(n, count, size int) [][]ingest.Rating {
+	r := rng.New(17).Child("bench")
+	batches := make([][]ingest.Rating, count)
+	for i := range batches {
+		batches[i] = randomBatch(r, n, size, nil)
+	}
+	return batches
+}
+
+// BenchmarkSnapshotPublish measures one full epoch transition — ingest,
+// rescore, incremental detect, COW snapshot publish — on a warm store
+// whose snapshot storage recycles, so steady-state publish cost (the
+// CloneInto refill plus slice copies) dominates.
+func BenchmarkSnapshotPublish(b *testing.B) {
+	const n = 200
+	s := testStore(b, n, Config{})
+	batches := benchBatches(n, 64, 100)
+	for _, batch := range batches {
+		if _, err := s.Apply(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Apply(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeQueryUnderIngest measures reader-side snapshot queries
+// (Acquire, score + pair reads, Release) while a background writer
+// applies batches as fast as the store allows — the latency a service
+// client sees under full ingest pressure, and the bench that keeps the
+// "queries never block ingest" property visible in the bench artifact.
+func BenchmarkServeQueryUnderIngest(b *testing.B) {
+	const n = 200
+	s := testStore(b, n, Config{})
+	batches := benchBatches(n, 64, 100)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			if _, err := s.Apply(batches[i%len(batches)]); err != nil {
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sn := s.Acquire()
+		sink += sn.Score(i % n)
+		if sn.IsFlagged(i % n) {
+			sink++
+		}
+		sn.Release()
+	}
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+	_ = sink
+}

@@ -1,0 +1,280 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"github.com/p2psim/collusion/internal/core"
+	"github.com/p2psim/collusion/internal/ingest"
+)
+
+// Request is the service's wire request, one JSON object per operation.
+// The same shape arrives as an HTTP request body and as a line of a JSONL
+// request log: replaying a recorded log through Replay produces responses
+// byte-identical to the ones the HTTP API served.
+type Request struct {
+	// Op selects the operation: "ingest", "reputation", "suspicion",
+	// "flagged" or "epoch".
+	Op string `json:"op"`
+	// Ratings carries the ingest batch as [rater, target, polarity]
+	// triples; only valid for Op == "ingest".
+	Ratings [][3]int64 `json:"ratings,omitempty"`
+	// Node is the queried node for "reputation" and "suspicion".
+	Node int `json:"node,omitempty"`
+}
+
+// DecodeRequest parses one request object, rejecting unknown fields and
+// trailing garbage so malformed requests fail loudly instead of silently
+// ignoring half their payload.
+func DecodeRequest(data []byte) (Request, error) {
+	var req Request
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return Request{}, fmt.Errorf("service: bad request: %w", err)
+	}
+	if dec.More() {
+		return Request{}, fmt.Errorf("service: bad request: trailing data after JSON object")
+	}
+	switch req.Op {
+	case "ingest", "reputation", "suspicion", "flagged", "epoch":
+	case "":
+		return Request{}, fmt.Errorf("service: bad request: missing op")
+	default:
+		return Request{}, fmt.Errorf("service: bad request: unknown op %q", req.Op)
+	}
+	if req.Op != "ingest" && len(req.Ratings) > 0 {
+		return Request{}, fmt.Errorf("service: bad request: op %q does not take ratings", req.Op)
+	}
+	return req, nil
+}
+
+// ToBatch converts the request's rating triples into an ingest batch,
+// validating against the population size n. Only valid for Op == "ingest".
+func (req Request) ToBatch(n int) ([]ingest.Rating, error) {
+	if req.Op != "ingest" {
+		return nil, fmt.Errorf("service: ToBatch on op %q", req.Op)
+	}
+	batch := make([]ingest.Rating, len(req.Ratings))
+	for k, t := range req.Ratings {
+		rater, target, pol := t[0], t[1], t[2]
+		if rater < 0 || rater >= int64(n) || target < 0 || target >= int64(n) {
+			return nil, fmt.Errorf("service: rating %d: pair (%d, %d) out of range [0,%d)", k, rater, target, n)
+		}
+		if rater == target {
+			return nil, fmt.Errorf("service: rating %d: node %d rated itself", k, rater)
+		}
+		if pol < -1 || pol > 1 {
+			return nil, fmt.Errorf("service: rating %d: polarity %d, want -1, 0 or 1", k, pol)
+		}
+		batch[k] = ingest.Rating{Rater: int32(rater), Target: int32(target), Polarity: int8(pol)}
+	}
+	return batch, nil
+}
+
+// AppendRequestIngest encodes batch as a canonical "ingest" request line
+// (trailing newline included) — the record format of the request log a
+// served run emits and Replay consumes.
+func AppendRequestIngest(dst []byte, batch []ingest.Rating) []byte {
+	dst = append(dst, `{"op":"ingest","ratings":[`...)
+	for k, r := range batch {
+		if k > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, '[')
+		dst = strconv.AppendInt(dst, int64(r.Rater), 10)
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, int64(r.Target), 10)
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, int64(r.Polarity), 10)
+		dst = append(dst, ']')
+	}
+	dst = append(dst, "]}\n"...)
+	return dst
+}
+
+// AppendRequestQuery encodes a no-argument query request line ("flagged"
+// or "epoch"), trailing newline included.
+func AppendRequestQuery(dst []byte, op string) []byte {
+	dst = append(dst, `{"op":"`...)
+	dst = append(dst, op...)
+	dst = append(dst, "\"}\n"...)
+	return dst
+}
+
+// All response encoders below produce exactly one newline-terminated JSON
+// line with a deterministic field order and strconv-based float
+// formatting ('g', shortest round-trip) — the byte-identity contract
+// between the HTTP API, the replay mode and the batch artifacts rests on
+// them.
+
+// AppendIngestReply encodes the response to an applied batch.
+func AppendIngestReply(dst []byte, epoch int64, accepted int) []byte {
+	dst = append(dst, `{"epoch":`...)
+	dst = strconv.AppendInt(dst, epoch, 10)
+	dst = append(dst, `,"accepted":`...)
+	dst = strconv.AppendInt(dst, int64(accepted), 10)
+	dst = append(dst, "}\n"...)
+	return dst
+}
+
+// AppendEpoch encodes the epoch watermark response.
+func AppendEpoch(dst []byte, sn *Snapshot) []byte {
+	dst = append(dst, `{"epoch":`...)
+	dst = strconv.AppendInt(dst, sn.Epoch(), 10)
+	dst = append(dst, `,"ratings":`...)
+	dst = strconv.AppendInt(dst, sn.Ratings(), 10)
+	dst = append(dst, `,"nodes":`...)
+	dst = strconv.AppendInt(dst, int64(sn.Nodes()), 10)
+	dst = append(dst, "}\n"...)
+	return dst
+}
+
+// AppendReputation encodes one node's reputation response.
+func AppendReputation(dst []byte, sn *Snapshot, node int) []byte {
+	dst = append(dst, `{"epoch":`...)
+	dst = strconv.AppendInt(dst, sn.Epoch(), 10)
+	dst = append(dst, `,"node":`...)
+	dst = strconv.AppendInt(dst, int64(node), 10)
+	dst = append(dst, `,"score":`...)
+	dst = appendFloat(dst, sn.Score(node))
+	dst = append(dst, `,"flagged":`...)
+	dst = strconv.AppendBool(dst, sn.IsFlagged(node))
+	dst = append(dst, `,"first_flagged":`...)
+	dst = strconv.AppendInt(dst, sn.FirstFlagged(node), 10)
+	dst = append(dst, "}\n"...)
+	return dst
+}
+
+// AppendSuspicion encodes one node's suspicion audit: for every partner
+// that rated the node (ascending), the pair's decision record — the gate
+// obs.GateFlagged with detected:true when the pair is among the detected
+// evidence, otherwise the advisory core.ExplainPair cascade gate over the
+// snapshot's frozen ledger. The Result-first order matters because the
+// detectors' association sweep can flag pairs whose own cascade stops
+// early; see core.ExplainPair.
+func AppendSuspicion(dst []byte, sn *Snapshot, th core.Thresholds, node int) []byte {
+	dst = append(dst, `{"epoch":`...)
+	dst = strconv.AppendInt(dst, sn.Epoch(), 10)
+	dst = append(dst, `,"node":`...)
+	dst = strconv.AppendInt(dst, int64(node), 10)
+	dst = append(dst, `,"flagged":`...)
+	dst = strconv.AppendBool(dst, sn.IsFlagged(node))
+	dst = append(dst, `,"first_flagged":`...)
+	dst = strconv.AppendInt(dst, sn.FirstFlagged(node), 10)
+	dst = append(dst, `,"partners":[`...)
+	for k, rater := range sn.Ledger().RatersOf(node) {
+		if k > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendPartnerAudit(dst, sn, th, node, int(rater))
+	}
+	dst = append(dst, "]}\n"...)
+	return dst
+}
+
+// appendPartnerAudit encodes one pair decision, normalized to i < j as in
+// the detectors' own audit records.
+func appendPartnerAudit(dst []byte, sn *Snapshot, th core.Thresholds, node, partner int) []byte {
+	a := core.ExplainPair(sn.Ledger(), th, node, partner)
+	detected := sn.HasPair(node, partner)
+	gate := a.Gate
+	if detected {
+		gate = "flagged"
+	}
+	dst = append(dst, `{"partner":`...)
+	dst = strconv.AppendInt(dst, int64(partner), 10)
+	dst = append(dst, `,"i":`...)
+	dst = strconv.AppendInt(dst, int64(a.I), 10)
+	dst = append(dst, `,"j":`...)
+	dst = strconv.AppendInt(dst, int64(a.J), 10)
+	dst = append(dst, `,"gate":"`...)
+	dst = append(dst, gate...)
+	dst = append(dst, `","detected":`...)
+	dst = strconv.AppendBool(dst, detected)
+	dst = append(dst, `,"n_ij":`...)
+	dst = strconv.AppendInt(dst, int64(a.NIJ), 10)
+	dst = append(dst, `,"n_ji":`...)
+	dst = strconv.AppendInt(dst, int64(a.NJI), 10)
+	dst = append(dst, `,"a_ij":`...)
+	dst = appendFloat(dst, a.AIJ)
+	dst = append(dst, `,"a_ji":`...)
+	dst = appendFloat(dst, a.AJI)
+	dst = append(dst, `,"r_i":`...)
+	dst = appendFloat(dst, a.RI)
+	dst = append(dst, `,"r_j":`...)
+	dst = appendFloat(dst, a.RJ)
+	dst = append(dst, '}')
+	return dst
+}
+
+// AppendFlaggedSnapshot encodes the full flagged document of a snapshot.
+func AppendFlaggedSnapshot(dst []byte, sn *Snapshot) []byte {
+	first := sn.first
+	return AppendFlagged(dst, sn.Epoch(), sn.Scores(), sn.Flagged(), func(i int) int64 { return first[i] }, sn.Pairs())
+}
+
+// AppendFlagged encodes the flagged document: epoch watermark, every
+// flagged node with its first-detection epoch (ascending), every evidence
+// pair (sorted by (i, j), first-evidence statistics) and the full score
+// vector. The batch CLI writes the same document from a simulation Result
+// (epoch = SimCycles, first = DetectionCycle), which is what the CI smoke
+// job byte-compares served and replayed runs against.
+func AppendFlagged(dst []byte, epoch int64, scores []float64, flagged []bool, first func(int) int64, pairs []core.Evidence) []byte {
+	dst = append(dst, `{"epoch":`...)
+	dst = strconv.AppendInt(dst, epoch, 10)
+	dst = append(dst, `,"nodes":`...)
+	dst = strconv.AppendInt(dst, int64(len(scores)), 10)
+	dst = append(dst, `,"flagged":[`...)
+	wrote := false
+	for i, f := range flagged {
+		if !f {
+			continue
+		}
+		if wrote {
+			dst = append(dst, ',')
+		}
+		wrote = true
+		dst = append(dst, `{"node":`...)
+		dst = strconv.AppendInt(dst, int64(i), 10)
+		dst = append(dst, `,"first":`...)
+		dst = strconv.AppendInt(dst, first(i), 10)
+		dst = append(dst, '}')
+	}
+	dst = append(dst, `],"pairs":[`...)
+	for k, e := range pairs {
+		if k > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `{"i":`...)
+		dst = strconv.AppendInt(dst, int64(e.I), 10)
+		dst = append(dst, `,"j":`...)
+		dst = strconv.AppendInt(dst, int64(e.J), 10)
+		dst = append(dst, `,"n_ij":`...)
+		dst = strconv.AppendInt(dst, int64(e.NIJ), 10)
+		dst = append(dst, `,"n_ji":`...)
+		dst = strconv.AppendInt(dst, int64(e.NJI), 10)
+		dst = append(dst, `,"a_ij":`...)
+		dst = appendFloat(dst, e.AIJ)
+		dst = append(dst, `,"a_ji":`...)
+		dst = appendFloat(dst, e.AJI)
+		dst = append(dst, '}')
+	}
+	dst = append(dst, `],"scores":[`...)
+	for i, s := range scores {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendFloat(dst, s)
+	}
+	dst = append(dst, "]}\n"...)
+	return dst
+}
+
+// appendFloat is the repo-wide deterministic float encoding: shortest
+// round-trip 'g', the same formatting the registry exporters use.
+func appendFloat(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}

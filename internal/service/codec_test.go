@@ -1,0 +1,205 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/p2psim/collusion/internal/ingest"
+)
+
+func TestDecodeRequest(t *testing.T) {
+	good := []string{
+		`{"op":"ingest","ratings":[[0,1,1],[2,3,-1]]}`,
+		`{"op":"reputation","node":5}`,
+		`{"op":"suspicion","node":0}`,
+		`{"op":"flagged"}`,
+		`{"op":"epoch"}`,
+	}
+	for _, in := range good {
+		if _, err := DecodeRequest([]byte(in)); err != nil {
+			t.Errorf("DecodeRequest(%s): %v", in, err)
+		}
+	}
+	bad := []string{
+		``,
+		`{}`,
+		`not json`,
+		`{"op":"frobnicate"}`,
+		`{"op":"epoch","bogus":1}`,
+		`{"op":"epoch"}{"op":"epoch"}`,
+		`{"op":"flagged","ratings":[[0,1,1]]}`,
+	}
+	for _, in := range bad {
+		if _, err := DecodeRequest([]byte(in)); err == nil {
+			t.Errorf("DecodeRequest(%s) accepted", in)
+		}
+	}
+}
+
+func TestToBatch(t *testing.T) {
+	req, err := DecodeRequest([]byte(`{"op":"ingest","ratings":[[0,1,1],[2,0,-1],[3,4,0]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := req.ToBatch(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ingest.Rating{
+		{Rater: 0, Target: 1, Polarity: 1},
+		{Rater: 2, Target: 0, Polarity: -1},
+		{Rater: 3, Target: 4, Polarity: 0},
+	}
+	if len(batch) != len(want) {
+		t.Fatalf("batch length %d, want %d", len(batch), len(want))
+	}
+	for i := range want {
+		if batch[i] != want[i] {
+			t.Fatalf("batch[%d] = %+v, want %+v", i, batch[i], want[i])
+		}
+	}
+	bad := []string{
+		`{"op":"ingest","ratings":[[0,8,1]]}`,  // target out of range
+		`{"op":"ingest","ratings":[[-1,0,1]]}`, // rater out of range
+		`{"op":"ingest","ratings":[[3,3,1]]}`,  // self-rating
+		`{"op":"ingest","ratings":[[0,1,2]]}`,  // bad polarity
+	}
+	for _, in := range bad {
+		req, err := DecodeRequest([]byte(in))
+		if err != nil {
+			t.Fatalf("DecodeRequest(%s): %v", in, err)
+		}
+		if _, err := req.ToBatch(8); err == nil {
+			t.Errorf("ToBatch(%s) accepted", in)
+		}
+	}
+	if _, err := (Request{Op: "epoch"}).ToBatch(8); err == nil {
+		t.Error("ToBatch on non-ingest op accepted")
+	}
+}
+
+// TestRequestRoundTrip pins the canonical-encoding contract: request
+// lines a served run records decode back to the batch they encode, so a
+// replay ingests exactly the recorded stream.
+func TestRequestRoundTrip(t *testing.T) {
+	batch := []ingest.Rating{
+		{Rater: 0, Target: 1, Polarity: 1},
+		{Rater: 5, Target: 2, Polarity: -1},
+		{Rater: 3, Target: 4, Polarity: 0},
+	}
+	line := AppendRequestIngest(nil, batch)
+	if !bytes.HasSuffix(line, []byte("\n")) {
+		t.Fatal("request line not newline-terminated")
+	}
+	req, err := DecodeRequest(bytes.TrimSuffix(line, []byte("\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := req.ToBatch(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if got[i] != batch[i] {
+			t.Fatalf("round-trip batch[%d] = %+v, want %+v", i, got[i], batch[i])
+		}
+	}
+	q := AppendRequestQuery(nil, "flagged")
+	if req, err := DecodeRequest(bytes.TrimSuffix(q, []byte("\n"))); err != nil || req.Op != "flagged" {
+		t.Fatalf("query round-trip: %+v, %v", req, err)
+	}
+}
+
+// TestResponsesAreValidJSON runs every encoder over a live store and
+// checks each produced line parses as standalone JSON — the encoders are
+// hand-rolled, so this guards bracket/comma slips.
+func TestResponsesAreValidJSON(t *testing.T) {
+	s := testStore(t, 8, Config{})
+	if _, err := s.Apply([]ingest.Rating{
+		{Rater: 0, Target: 1, Polarity: 1},
+		{Rater: 1, Target: 0, Polarity: 1},
+		{Rater: 2, Target: 3, Polarity: -1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+	lines := [][]byte{
+		AppendIngestReply(nil, 1, 3),
+		AppendEpoch(nil, sn),
+		AppendReputation(nil, sn, 1),
+		AppendSuspicion(nil, sn, s.Thresholds(), 0),
+		AppendFlaggedSnapshot(nil, sn),
+	}
+	for i, line := range lines {
+		if !bytes.HasSuffix(line, []byte("\n")) {
+			t.Fatalf("line %d not newline-terminated: %s", i, line)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(line, &doc); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if _, ok := doc["epoch"]; !ok {
+			t.Fatalf("line %d carries no epoch: %s", i, line)
+		}
+	}
+}
+
+// FuzzRequestDecode fuzzes the request decoder: it must never panic, and
+// anything it accepts must be one of the five ops with an internally
+// consistent shape.
+func FuzzRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"op":"ingest","ratings":[[0,1,1]]}`))
+	f.Add([]byte(`{"op":"reputation","node":3}`))
+	f.Add([]byte(`{"op":"flagged"}`))
+	f.Add([]byte(`{"op":"epoch","node":0}`))
+	f.Add([]byte(`{"op":"suspicion"}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"op":"ingest","ratings":[[9e99,-1,5]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		switch req.Op {
+		case "ingest", "reputation", "suspicion", "flagged", "epoch":
+		default:
+			t.Fatalf("decoder accepted op %q", req.Op)
+		}
+		if req.Op != "ingest" && len(req.Ratings) > 0 {
+			t.Fatal("decoder accepted ratings on a query op")
+		}
+		// ToBatch on accepted ingests must validate or reject, not panic,
+		// and an accepted batch must be in range.
+		if req.Op == "ingest" {
+			batch, err := req.ToBatch(16)
+			if err != nil {
+				return
+			}
+			for _, r := range batch {
+				if r.Rater < 0 || r.Rater >= 16 || r.Target < 0 || r.Target >= 16 ||
+					r.Rater == r.Target || r.Polarity < -1 || r.Polarity > 1 {
+					t.Fatalf("validated batch carries bad rating %+v", r)
+				}
+			}
+		}
+	})
+}
+
+// TestReplayRejectsMalformed pins replay's fail-fast contract with line
+// attribution.
+func TestReplayRejectsMalformed(t *testing.T) {
+	s := testStore(t, 8, Config{})
+	in := strings.NewReader(`{"op":"epoch"}` + "\n" + `{"op":"bogus"}` + "\n")
+	var out bytes.Buffer
+	err := Replay(s, in, &out)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("Replay error = %v, want line-2 attribution", err)
+	}
+	// The valid first line still produced its response.
+	if !strings.HasPrefix(out.String(), `{"epoch":0`) {
+		t.Fatalf("first response missing: %q", out.String())
+	}
+}

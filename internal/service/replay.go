@@ -1,0 +1,80 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Replay feeds a JSONL request log (one Request per line, as recorded by
+// a served run) through the store in order and writes each operation's
+// response line to w. Because the store applies batches strictly in
+// arrival order and every encoder is deterministic, replaying the same
+// log against a store built from the same configuration reproduces the
+// original run byte for byte — same epochs, same scores, same flagged
+// document. Blank lines are skipped; the first malformed or rejected
+// request aborts the replay with its error.
+func Replay(s *Store, r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	var out []byte
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		req, err := DecodeRequest(raw)
+		if err != nil {
+			return fmt.Errorf("service: replay line %d: %w", line, err)
+		}
+		out, err = replayOne(s, req, out[:0])
+		if err != nil {
+			return fmt.Errorf("service: replay line %d: %w", line, err)
+		}
+		if _, err := w.Write(out); err != nil {
+			return fmt.Errorf("service: replay line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("service: replay: %w", err)
+	}
+	return nil
+}
+
+// replayOne dispatches one decoded request and appends its response line.
+func replayOne(s *Store, req Request, out []byte) ([]byte, error) {
+	switch req.Op {
+	case "ingest":
+		batch, err := req.ToBatch(s.Nodes())
+		if err != nil {
+			return out, err
+		}
+		epoch, err := s.Apply(batch)
+		if err != nil {
+			return out, err
+		}
+		return AppendIngestReply(out, epoch, len(batch)), nil
+	case "epoch", "reputation", "suspicion", "flagged":
+		if req.Op == "reputation" || req.Op == "suspicion" {
+			if req.Node < 0 || req.Node >= s.Nodes() {
+				return out, fmt.Errorf("node %d out of range [0,%d)", req.Node, s.Nodes())
+			}
+		}
+		sn := s.Acquire()
+		defer sn.Release()
+		switch req.Op {
+		case "epoch":
+			return AppendEpoch(out, sn), nil
+		case "reputation":
+			return AppendReputation(out, sn, req.Node), nil
+		case "suspicion":
+			return AppendSuspicion(out, sn, s.Thresholds(), req.Node), nil
+		default:
+			return AppendFlaggedSnapshot(out, sn), nil
+		}
+	default:
+		return out, fmt.Errorf("unknown op %q", req.Op)
+	}
+}

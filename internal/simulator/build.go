@@ -1,0 +1,77 @@
+package simulator
+
+import (
+	"github.com/p2psim/collusion/internal/core"
+	"github.com/p2psim/collusion/internal/reputation"
+)
+
+// BuildEngine constructs the reputation engine cfg selects, wired with the
+// config's meter, registry and worker count — the exact construction the
+// simulation loop performs. It is exported so other hosts of the scoring
+// machinery (the resident service in internal/service, tools) score
+// byte-identically to a batch run from the same configuration.
+func BuildEngine(cfg Config) reputation.Engine {
+	switch cfg.Engine {
+	case EngineSummation:
+		return reputation.Summation{}
+	case EngineWeightedSum:
+		return reputation.NewWeightedSum(cfg.Pretrusted)
+	case EngineIterativeWeighted:
+		iw := reputation.NewIterativeWeighted(cfg.Pretrusted)
+		iw.Meter = cfg.Meter
+		return iw
+	case EngineSimilarity:
+		sw := reputation.NewSimilarityWeighted()
+		sw.Meter = cfg.Meter
+		return sw
+	default:
+		et := reputation.NewEigenTrust(cfg.Pretrusted)
+		et.Alpha = cfg.EigenTrustAlpha
+		et.Workers = cfg.Workers
+		et.IterObs = cfg.Obs.Histogram("eigentrust.iterations")
+		// Per-run sparsity gauges (eigentrust.nnz, eigentrust.dangling_rows):
+		// the matrix shape the sparse multiply exploits, refreshed on every
+		// build.
+		et.Obs = cfg.Obs
+		// Server selection only needs score ordering, so the iteration can
+		// stop at modest precision — the paper notes the matrix "normally
+		// can converge within several iterations".
+		et.Epsilon = 1e-4
+		et.Meter = cfg.Meter
+		return et
+	}
+}
+
+// BuildPairDetector constructs the pairwise collusion detector cfg selects
+// — nil for DetectorNone and for the group/Sybil detectors, which are not
+// pairwise — wired with the config's thresholds, meter, tracer, registry
+// and span tracer exactly as the simulation loop wires its own. Exported
+// for the same reason as BuildEngine: a resident service built from the
+// same configuration detects byte-identically to the batch run.
+func BuildPairDetector(cfg Config) core.Detector {
+	switch cfg.Detector {
+	case DetectorBasic:
+		d := core.NewBasic(cfg.thresholds())
+		d.Meter = cfg.Meter
+		d.Trace = cfg.Tracer
+		d.Obs = cfg.Obs
+		d.Spans = cfg.Spans
+		return d
+	case DetectorOptimized:
+		d := core.NewOptimized(cfg.thresholds())
+		d.Meter = cfg.Meter
+		d.Trace = cfg.Tracer
+		d.Obs = cfg.Obs
+		d.Spans = cfg.Spans
+		return d
+	default:
+		return nil
+	}
+}
+
+// DetectionThresholds returns the detector thresholds the run will use:
+// cfg.Thresholds, or core.DefaultThresholds when the field is zero —
+// the same defaulting the detector builders apply.
+func (c Config) DetectionThresholds() core.Thresholds {
+	return c.thresholds()
+}

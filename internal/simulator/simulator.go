@@ -288,51 +288,11 @@ func newState(cfg Config) (*state, error) {
 		s.isColluder[p] = true
 	}
 
-	switch cfg.Engine {
-	case EngineSummation:
-		s.engine = reputation.Summation{}
-	case EngineWeightedSum:
-		s.engine = reputation.NewWeightedSum(cfg.Pretrusted)
-	case EngineIterativeWeighted:
-		iw := reputation.NewIterativeWeighted(cfg.Pretrusted)
-		iw.Meter = cfg.Meter
-		s.engine = iw
-	case EngineSimilarity:
-		sw := reputation.NewSimilarityWeighted()
-		sw.Meter = cfg.Meter
-		s.engine = sw
-	default:
-		et := reputation.NewEigenTrust(cfg.Pretrusted)
-		et.Alpha = cfg.EigenTrustAlpha
-		et.Workers = cfg.Workers
-		et.IterObs = cfg.Obs.Histogram("eigentrust.iterations")
-		// Per-run sparsity gauges (eigentrust.nnz, eigentrust.dangling_rows):
-		// the matrix shape the sparse multiply exploits, refreshed on every
-		// build.
-		et.Obs = cfg.Obs
-		// Server selection only needs score ordering, so the iteration can
-		// stop at modest precision — the paper notes the matrix "normally
-		// can converge within several iterations".
-		et.Epsilon = 1e-4
-		et.Meter = cfg.Meter
-		s.engine = et
-	}
+	s.engine = BuildEngine(cfg)
 
 	switch cfg.Detector {
-	case DetectorBasic:
-		d := core.NewBasic(cfg.thresholds())
-		d.Meter = cfg.Meter
-		d.Trace = cfg.Tracer
-		d.Obs = cfg.Obs
-		d.Spans = cfg.Spans
-		s.det = d
-	case DetectorOptimized:
-		d := core.NewOptimized(cfg.thresholds())
-		d.Meter = cfg.Meter
-		d.Trace = cfg.Tracer
-		d.Obs = cfg.Obs
-		d.Spans = cfg.Spans
-		s.det = d
+	case DetectorBasic, DetectorOptimized:
+		s.det = BuildPairDetector(cfg)
 	case DetectorGroup:
 		d := core.NewGroupDetector(cfg.thresholds())
 		d.Meter = cfg.Meter

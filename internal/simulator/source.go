@@ -1,0 +1,57 @@
+package simulator
+
+import (
+	"github.com/p2psim/collusion/internal/ingest"
+)
+
+// A BatchTap is the traffic-source adapter between the seeded simulator
+// and the resident detection service: it captures every rating the
+// simulation records and delivers each simulation cycle's ratings as one
+// batch, in record order, right after the cycle's own reputation update
+// and detection pass. One delivered batch corresponds to exactly one
+// service epoch, which is what makes a served run at epoch E
+// byte-comparable to the batch run stopped at cycle E.
+//
+// The tap chains onto any OnRating/OnCycle observers already present on
+// the config (they keep firing, after the tap's own work), and — like any
+// OnCycle/OnRating observer — forces RunAveragedParallel sequential.
+type BatchTap struct {
+	buf []ingest.Rating
+	fn  func(cycle int, batch []ingest.Rating) error
+	err error
+}
+
+// NewBatchTap installs a tap on cfg and returns it. fn receives the
+// 1-based simulation cycle and the cycle's ratings in record order; the
+// batch slice is reused between cycles, so fn must not retain it past its
+// return. The first error fn returns stops further deliveries (later
+// cycles still simulate; their batches are dropped) and is reported by
+// Err.
+func NewBatchTap(cfg *Config, fn func(cycle int, batch []ingest.Rating) error) *BatchTap {
+	t := &BatchTap{fn: fn}
+	prevRating := cfg.OnRating
+	cfg.OnRating = func(rater, target, polarity int) {
+		t.buf = append(t.buf, ingest.Rating{
+			Rater:    int32(rater),
+			Target:   int32(target),
+			Polarity: int8(polarity),
+		})
+		if prevRating != nil {
+			prevRating(rater, target, polarity)
+		}
+	}
+	prevCycle := cfg.OnCycle
+	cfg.OnCycle = func(cycle int, scores []float64) {
+		if t.err == nil {
+			t.err = t.fn(cycle, t.buf)
+		}
+		t.buf = t.buf[:0]
+		if prevCycle != nil {
+			prevCycle(cycle, scores)
+		}
+	}
+	return t
+}
+
+// Err returns the first error a delivery returned, if any.
+func (t *BatchTap) Err() error { return t.err }
